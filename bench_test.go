@@ -1,0 +1,359 @@
+package repro
+
+// One benchmark per table/figure of the paper (BenchmarkFig1..9), plus
+// micro-benchmarks and the ablation benches called out in DESIGN.md.
+// Run: go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/heuristics"
+	"repro/internal/makespan"
+	"repro/internal/numeric"
+	"repro/internal/robustness"
+	"repro/internal/schedule"
+	"repro/internal/stochastic"
+)
+
+// benchScenario builds the Fig. 3 case (Cholesky 10 tasks, 3 procs).
+func benchScenario(b *testing.B) *Scenario {
+	b.Helper()
+	scen, err := NewCholeskyScenario(3, 3, 1.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scen
+}
+
+// --- Figure benches -----------------------------------------------------
+
+func BenchmarkFig1(b *testing.B) {
+	cfg := experiment.BenchConfig()
+	cfg.MCRealizations = 2000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig1(cfg, []int{10, 30}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	cfg := experiment.BenchConfig()
+	cfg.MCRealizations = 2000
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCase(b *testing.B, spec experiment.CaseSpec) {
+	b.Helper()
+	cfg := experiment.BenchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCase(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) { benchCase(b, experiment.Fig3Case(1)) }
+func BenchmarkFig4(b *testing.B) { benchCase(b, experiment.Fig4Case(1)) }
+func BenchmarkFig5(b *testing.B) { benchCase(b, experiment.Fig5Case(1)) }
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := experiment.BenchConfig()
+	cfg.Schedules = 15
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig6(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Fig7(256)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	cfg := experiment.BenchConfig()
+	for i := 0; i < b.N; i++ {
+		experiment.Fig8(cfg, 10)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := experiment.BenchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig9(cfg, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benches ---------------------------------------------
+
+func BenchmarkFFT1024(b *testing.B) {
+	re := make([]float64, 1024)
+	im := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range re {
+		re[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = numeric.FFT(re, im, false)
+		_ = numeric.FFT(re, im, true)
+	}
+}
+
+// BenchmarkAblationConvolution contrasts the three convolution
+// strategies on the 64-point densities the evaluation uses.
+func BenchmarkAblationConvolution(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a64 := make([]float64, 64)
+	c64 := make([]float64, 64)
+	long := make([]float64, 2048)
+	for i := range a64 {
+		a64[i] = rng.Float64()
+		c64[i] = rng.Float64()
+	}
+	for i := range long {
+		long[i] = rng.Float64()
+	}
+	b.Run("direct-64x64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			numeric.ConvolveDirect(a64, c64)
+		}
+	})
+	b.Run("fft-64x64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			numeric.ConvolveFFT(a64, c64)
+		}
+	})
+	b.Run("fft-2048x64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			numeric.ConvolveFFT(long, a64)
+		}
+	})
+	b.Run("overlapadd-2048x64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			numeric.ConvolveOverlapAdd(long, a64, 0)
+		}
+	})
+}
+
+// BenchmarkAblationGridSize sweeps the density grid resolution (the
+// paper settled on 64 points).
+func BenchmarkAblationGridSize(b *testing.B) {
+	scen := benchScenario(b)
+	s := RandomSchedule(scen, 7)
+	for _, grid := range []int{32, 64, 128, 256} {
+		b.Run(itoa(grid), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := makespan.EvaluateClassic(scen, s, grid); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMaxMethod contrasts the numeric CDF-product maximum
+// with Clark's two-moment approximation.
+func BenchmarkAblationMaxMethod(b *testing.B) {
+	x := stochastic.FromDist(stochastic.NewBetaUL(10, 1.4), 64)
+	y := stochastic.FromDist(stochastic.NewBetaUL(11, 1.3), 64)
+	b.Run("cdf-product", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x.MaxWith(y, 64)
+		}
+	})
+	scen := benchScenario(b)
+	s := RandomSchedule(scen, 3)
+	b.Run("clark-spelde-full-dag", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := makespan.EvaluateSpelde(scen, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkNumericAdd(b *testing.B) {
+	x := stochastic.FromDist(stochastic.NewBetaUL(10, 1.4), 64)
+	y := stochastic.FromDist(stochastic.NewBetaUL(11, 1.3), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Add(y, 64)
+	}
+}
+
+// --- Scheduling benches ----------------------------------------------------
+
+func benchRandom30(b *testing.B) *Scenario {
+	b.Helper()
+	scen, err := NewRandomScenario(30, 8, 1.1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scen
+}
+
+func BenchmarkHEFT(b *testing.B) {
+	scen := benchRandom30(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.HEFT(scen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBIL(b *testing.B) {
+	scen := benchRandom30(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.BIL(scen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHBMCT(b *testing.B) {
+	scen := benchRandom30(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.HBMCT(scen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPOP(b *testing.B) {
+	scen := benchRandom30(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.CPOP(scen); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSDHEFT(b *testing.B) {
+	scen := benchRandom30(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristics.SDHEFT(scen, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomSchedule(b *testing.B) {
+	scen := benchRandom30(b)
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		heuristics.RandomSchedule(scen, rng)
+	}
+}
+
+// --- Evaluation benches ------------------------------------------------------
+
+func BenchmarkEvaluateClassic(b *testing.B) {
+	scen := benchRandom30(b)
+	s := RandomSchedule(scen, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := makespan.EvaluateClassic(scen, s, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateDodin(b *testing.B) {
+	scen := benchRandom30(b)
+	s := RandomSchedule(scen, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := makespan.EvaluateDodin(scen, s, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateSpelde(b *testing.B) {
+	scen := benchRandom30(b)
+	s := RandomSchedule(scen, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := makespan.EvaluateSpelde(scen, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRealize(b *testing.B) {
+	scen := benchRandom30(b)
+	s := RandomSchedule(scen, 5)
+	sim, err := schedule.NewSimulator(scen, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	buf := make([]float64, 2*scen.G.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RealizeTiming(rng, buf)
+	}
+}
+
+// BenchmarkMonteCarloParallel measures the parallel realization
+// engine's throughput (10 000 realizations per iteration).
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	scen := benchRandom30(b)
+	s := RandomSchedule(scen, 5)
+	sim, err := schedule.NewSimulator(scen, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Realizations(10000, int64(i))
+	}
+}
+
+func BenchmarkMetrics(b *testing.B) {
+	scen := benchScenario(b)
+	s := RandomSchedule(scen, 5)
+	rv, err := makespan.EvaluateClassic(scen, s, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := robustness.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := robustness.FromDistribution(scen, s, rv, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,148 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation. By default it writes scaled-down results (the
+// correlation structure is stable far below paper-scale sample
+// counts); -full restores the paper's 10 000 schedules and 100 000
+// realizations.
+//
+// Besides the paper's nine figures, two §VIII future-work experiments
+// are available: -fig ul (variable per-task uncertainty levels) and
+// -fig osc (oscillating non-Beta duration distributions).
+//
+// Usage:
+//
+//	experiments [-fig 1|...|9|ul|osc|all] [-full] [-out DIR] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	figFlag := flag.String("fig", "all", "figure to regenerate (1-9, ul, osc, or all)")
+	full := flag.Bool("full", false, "paper-scale sample counts (slow)")
+	out := flag.String("out", "", "directory for output files (default stdout)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	schedules := flag.Int("schedules", 0, "override random-schedule count per case")
+	mc := flag.Int("mc", 0, "override Monte-Carlo realization count")
+	flag.Parse()
+
+	cfg := experiment.DefaultConfig()
+	if *full {
+		cfg = experiment.PaperConfig()
+	}
+	cfg.Seed = *seed
+	if *schedules > 0 {
+		cfg.Schedules = *schedules
+	}
+	if *mc > 0 {
+		cfg.MCRealizations = *mc
+	}
+
+	figs := strings.Split(*figFlag, ",")
+	if *figFlag == "all" {
+		figs = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "ul", "osc"}
+	}
+	for _, f := range figs {
+		if err := runFig(strings.TrimSpace(f), cfg, *out); err != nil {
+			log.Fatalf("fig %s: %v", f, err)
+		}
+	}
+}
+
+// output opens the destination writer for a figure.
+func output(outDir, name string) (io.Writer, func(), error) {
+	if outDir == "" {
+		return os.Stdout, func() {}, nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+func runFig(fig string, cfg experiment.Config, outDir string) error {
+	w, closeFn, err := output(outDir, "fig"+fig+".txt")
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	log.Printf("running figure %s ...", fig)
+	switch fig {
+	case "1":
+		rows, err := experiment.Fig1(cfg, nil, 0)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig1(w, rows)
+	case "2":
+		res, err := experiment.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig2(w, res)
+	case "3", "4", "5":
+		var spec experiment.CaseSpec
+		switch fig {
+		case "3":
+			spec = experiment.Fig3Case(cfg.Seed)
+		case "4":
+			spec = experiment.Fig4Case(cfg.Seed)
+		default:
+			spec = experiment.Fig5Case(cfg.Seed)
+		}
+		res, err := experiment.RunCase(spec, cfg)
+		if err != nil {
+			return err
+		}
+		experiment.WriteCase(w, res)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiment.SummarizeHeuristics(res))
+	case "6":
+		res, err := experiment.Fig6(cfg, func(done, total int, name string) {
+			log.Printf("  case %d/%d (%s)", done, total, name)
+		})
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig6(w, res)
+	case "7":
+		experiment.WriteFig7(w, experiment.Fig7(0))
+	case "8":
+		experiment.WriteFig8(w, experiment.Fig8(cfg, 0))
+	case "9":
+		rows, err := experiment.Fig9(cfg, 0)
+		if err != nil {
+			return err
+		}
+		experiment.WriteFig9(w, rows)
+	case "ul":
+		res, err := experiment.VariableUL(cfg, 2)
+		if err != nil {
+			return err
+		}
+		experiment.WriteVariableUL(w, res)
+	case "osc":
+		res, err := experiment.OscillatingDurationsCase(cfg)
+		if err != nil {
+			return err
+		}
+		experiment.WriteCase(w, res)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

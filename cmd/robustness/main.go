@@ -1,0 +1,57 @@
+// Command robustness runs one scheduling case end to end: it builds a
+// scenario, draws random schedules plus the three heuristics, computes
+// every robustness metric and prints the Pearson correlation matrix —
+// a single-case version of the paper's Figs. 3–5.
+//
+// Usage:
+//
+//	robustness [-graph random|cholesky|gausselim] [-n 30] [-m 8]
+//	           [-ul 1.1] [-schedules 200] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("robustness: ")
+	graph := flag.String("graph", "random", "graph kind: random, cholesky, gausselim")
+	n := flag.Int("n", 30, "approximate task count")
+	m := flag.Int("m", 8, "processor count")
+	ul := flag.Float64("ul", 1.1, "uncertainty level (>= 1)")
+	schedules := flag.Int("schedules", 200, "number of random schedules")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	var kind experiment.GraphKind
+	switch *graph {
+	case "random":
+		kind = experiment.RandomGraph
+	case "cholesky":
+		kind = experiment.CholeskyGraph
+	case "gausselim":
+		kind = experiment.GaussElimGraph
+	default:
+		log.Fatalf("unknown graph kind %q", *graph)
+	}
+	cfg := experiment.DefaultConfig()
+	cfg.Schedules = *schedules
+	cfg.Seed = *seed
+	spec := experiment.CaseSpec{
+		Name: fmt.Sprintf("%s-n%d-m%d-ul%g", *graph, *n, *m, *ul),
+		Kind: kind, N: *n, M: *m, UL: *ul, Seed: *seed,
+	}
+	res, err := experiment.RunCase(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiment.WriteCase(os.Stdout, res)
+	fmt.Println()
+	fmt.Print(experiment.SummarizeHeuristics(res))
+}

@@ -1,0 +1,35 @@
+// Reproduce the paper's Fig. 9 argument: on a join graph of i.i.d.
+// tasks, the slack metric does not predict robustness — a schedule can
+// be robust with zero slack (maximum of many i.i.d. variables) or
+// fragile with plenty of slack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	cfg := experiment.DefaultConfig()
+	const n = 8 // join graph with n+1 tasks
+	rows, err := experiment.Fig9(cfg, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("join graph, %d identical tasks + sink, i.i.d. Beta(2,5) durations (UL=1.5)\n\n", n)
+	fmt.Printf("%-22s %10s %10s %10s\n", "schedule", "slack S", "sigma_M", "E(M)")
+	for _, r := range rows {
+		fmt.Printf("%-22s %10.3f %10.4f %10.3f\n", r.Name, r.Slack, r.StdDev, r.Makespan)
+	}
+	fmt.Println(`
+Reading the table:
+  * "wide" runs every task on its own processor: the makespan is the
+    maximum of many i.i.d. variables — tightly concentrated (small
+    sigma) even though no task has any slack.
+  * "imbalanced" leaves a whole processor nearly idle: huge slack, yet
+    sigma stays large because the long chain dominates the makespan.
+So maximizing slack neither implies nor is implied by robustness —
+the paper's central argument against the slack metric (§VII, Fig. 9).`)
+}

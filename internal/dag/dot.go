@@ -1,0 +1,30 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. nodeLabel may be nil
+// (names are used). Edge labels show communication volumes when
+// non-zero.
+func (g *Graph) DOT(title string, nodeLabel func(Task) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=circle];\n", title)
+	for t := 0; t < g.n; t++ {
+		label := g.Name(Task(t))
+		if nodeLabel != nil {
+			label = nodeLabel(Task(t))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", t, label)
+	}
+	for _, e := range g.Edges() {
+		if e.Volume != 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", e.From, e.To, e.Volume)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

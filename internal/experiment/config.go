@@ -1,0 +1,82 @@
+// Package experiment reproduces the evaluation of the paper: the 52
+// experimental cases of §V (scaled-down defaults, paper-scale behind
+// Full), the correlation matrices of Figs. 3–6, the accuracy studies of
+// Figs. 1–2, the central-limit studies of Figs. 7–8, and the slack
+// case study of Fig. 9.
+package experiment
+
+import (
+	"runtime"
+
+	"repro/internal/robustness"
+)
+
+// Config controls the scale of every driver. The zero value is not
+// usable; call DefaultConfig or PaperConfig.
+type Config struct {
+	Schedules      int     // random schedules per case (paper: 10000, 2000 for n=100)
+	MCRealizations int     // Monte-Carlo realizations (paper: 100000)
+	GridSize       int     // density samples (paper: 64)
+	Workers        int     // parallel workers; <= 0 selects GOMAXPROCS
+	Seed           int64   // base RNG seed
+	Delta          float64 // absolute probabilistic half-width (paper: 0.1)
+	Gamma          float64 // relative probabilistic factor (paper: 1.0003)
+}
+
+// DefaultConfig returns laptop-scale settings: every driver finishes in
+// seconds to a couple of minutes while preserving the paper's
+// correlation structure (correlations stabilize well below 10 000
+// schedules).
+func DefaultConfig() Config {
+	return Config{
+		Schedules:      150,
+		MCRealizations: 20000,
+		GridSize:       64,
+		Workers:        runtime.GOMAXPROCS(0),
+		Seed:           1,
+		Delta:          0.1,
+		Gamma:          1.0003,
+	}
+}
+
+// PaperConfig returns the paper-scale settings (hours of compute).
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.Schedules = 10000
+	c.MCRealizations = 100000
+	return c
+}
+
+// BenchConfig returns a minimal configuration for benchmarks.
+func BenchConfig() Config {
+	c := DefaultConfig()
+	c.Schedules = 30
+	c.MCRealizations = 3000
+	return c
+}
+
+// params converts the config into metric parameters.
+func (c Config) params() robustness.Params {
+	return robustness.Params{Delta: c.Delta, Gamma: c.Gamma, GridSize: c.GridSize}
+}
+
+// workers returns the effective worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// schedulesFor scales the per-case schedule count the way the paper
+// does: large graphs get a fifth of the budget (10000 → 2000).
+func (c Config) schedulesFor(n int) int {
+	if n >= 100 {
+		s := c.Schedules / 5
+		if s < 20 {
+			s = 20
+		}
+		return s
+	}
+	return c.Schedules
+}

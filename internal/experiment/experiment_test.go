@@ -1,0 +1,392 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/robustness"
+)
+
+// testConfig keeps unit tests fast.
+func testConfig() Config {
+	c := DefaultConfig()
+	c.Schedules = 40
+	c.MCRealizations = 4000
+	return c
+}
+
+func TestCaseSpecBuildScenario(t *testing.T) {
+	for _, spec := range []CaseSpec{
+		{Name: "r", Kind: RandomGraph, N: 20, M: 4, UL: 1.1, Seed: 1},
+		{Name: "c", Kind: CholeskyGraph, N: 10, M: 3, UL: 1.01, Seed: 2},
+		{Name: "g", Kind: GaussElimGraph, N: 30, M: 8, UL: 1.1, Seed: 3},
+		{Name: "j", Kind: JoinGraph, N: 9, M: 4, UL: 1.5, Seed: 4},
+	} {
+		scen, err := spec.BuildScenario()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if scen.G.N() == 0 {
+			t.Errorf("%s: empty graph", spec.Name)
+		}
+		if err := scen.P.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+	if _, err := (CaseSpec{Kind: GraphKind(42), N: 5, M: 2, UL: 1.1}).BuildScenario(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestCaseSizesMatchPaper(t *testing.T) {
+	// Fig. 3: Cholesky of exactly 10 tasks.
+	scen, err := Fig3Case(1).BuildScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.G.N() != 10 {
+		t.Errorf("Fig3 graph has %d tasks, want 10", scen.G.N())
+	}
+	// Fig. 5: GE of ~103 tasks (our generator gives 104).
+	scen, err = Fig5Case(1).BuildScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scen.G.N() != 104 {
+		t.Errorf("Fig5 graph has %d tasks, want 104", scen.G.N())
+	}
+	if scen.P.M != 16 {
+		t.Errorf("Fig5 platform has %d procs, want 16", scen.P.M)
+	}
+}
+
+func TestCholeskyAndGESizeSelection(t *testing.T) {
+	if choleskyTiles(10) != 3 {
+		t.Errorf("choleskyTiles(10) = %d, want 3", choleskyTiles(10))
+	}
+	if got := graphgen.CholeskyTaskCount(choleskyTiles(100)); got < 60 || got > 140 {
+		t.Errorf("cholesky ~100 gave %d tasks", got)
+	}
+	if gaussElimSize(103) != 14 {
+		t.Errorf("gaussElimSize(103) = %d, want 14", gaussElimSize(103))
+	}
+}
+
+func TestRunCaseSmall(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunCase(Fig3Case(cfg.Seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != cfg.Schedules {
+		t.Fatalf("got %d metric vectors, want %d", len(res.Metrics), cfg.Schedules)
+	}
+	if len(res.Heuristics) != 3 {
+		t.Fatalf("got %d heuristics, want 3", len(res.Heuristics))
+	}
+	if len(res.Corr) != robustness.NumMetrics {
+		t.Fatalf("correlation matrix size %d", len(res.Corr))
+	}
+	// Core paper claim: σ_M, entropy, lateness and (inverted) A are
+	// strongly positively correlated.
+	pairs := [][2]int{{1, 2}, {1, 5}, {1, 6}, {2, 5}, {5, 6}}
+	for _, p := range pairs {
+		r := res.Corr[p[0]][p[1]]
+		if math.IsNaN(r) || r < 0.8 {
+			t.Errorf("corr(%s, %s) = %.3f, want > 0.8",
+				metricShortNames[p[0]], metricShortNames[p[1]], r)
+		}
+	}
+	// Makespan and inverted slack are negatively correlated (conflicting
+	// objectives).
+	if r := res.Corr[0][3]; !math.IsNaN(r) && r > 0 {
+		t.Errorf("corr(makespan, inv slack) = %.3f, want negative", r)
+	}
+	// §VII: (1-R)/M tracks σ_M almost perfectly.
+	if res.RelByMakespanVsStd < 0.95 {
+		t.Errorf("(1-R)/M vs σ_M = %.3f, want > 0.95", res.RelByMakespanVsStd)
+	}
+}
+
+func TestRunCaseHeuristicsDominateRandom(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunCase(Fig4Case(cfg.Seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.BestRandomMakespan()
+	for _, h := range res.Heuristics {
+		if h.Metrics.Makespan > best {
+			t.Errorf("%s makespan %.4g worse than best random %.4g", h.Name, h.Metrics.Makespan, best)
+		}
+	}
+}
+
+func TestInvertedColumns(t *testing.T) {
+	ms := []robustness.Metrics{
+		{Makespan: 10, AvgSlack: 3, AbsProb: 0.8, RelProb: 0.6},
+		{Makespan: 20, AvgSlack: 7, AbsProb: 0.2, RelProb: 0.4},
+	}
+	cols := InvertedColumns(ms)
+	if cols[0][0] != 10 || cols[0][1] != 20 {
+		t.Error("makespan column should be raw")
+	}
+	if cols[3][0] != 4 || cols[3][1] != 0 {
+		t.Errorf("slack column = %v, want [4 0]", cols[3])
+	}
+	if math.Abs(cols[6][0]-0.2) > 1e-12 || math.Abs(cols[6][1]-0.8) > 1e-12 {
+		t.Errorf("absprob column = %v, want [0.2 0.8]", cols[6])
+	}
+	if math.Abs(cols[7][0]-0.4) > 1e-12 || math.Abs(cols[7][1]-0.6) > 1e-12 {
+		t.Errorf("relprob column = %v, want [0.4 0.6]", cols[7])
+	}
+}
+
+func TestFig1ShowsGrowingImprecision(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Fig1(cfg, []int{10, 60}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.KS < 0 || r.KS > 1 {
+			t.Errorf("KS = %g out of range", r.KS)
+		}
+		if r.CM < 0 {
+			t.Errorf("CM = %g negative", r.CM)
+		}
+	}
+	// The paper's point: precision degrades with graph size.
+	if rows[1].KS <= rows[0].KS {
+		t.Logf("note: KS did not grow (%.3g -> %.3g) — acceptable at small sample counts", rows[0].KS, rows[1].KS)
+	}
+}
+
+func TestFig2ProducesComparableDensities(t *testing.T) {
+	cfg := testConfig()
+	res, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.X) != len(res.Calculated) || len(res.X) != len(res.Empirical) {
+		t.Fatal("series length mismatch")
+	}
+	// Both densities integrate to ~1 over the grid.
+	h := res.X[1] - res.X[0]
+	var mc, me float64
+	for i := range res.X {
+		mc += res.Calculated[i] * h
+		me += res.Empirical[i] * h
+	}
+	if mc < 0.8 || mc > 1.2 {
+		t.Errorf("calculated mass = %g", mc)
+	}
+	if me < 0.8 || me > 1.2 {
+		t.Errorf("empirical mass = %g", me)
+	}
+	if res.KS <= 0 || res.KS > 0.8 {
+		t.Errorf("KS = %g implausible", res.KS)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	res := Fig7(128)
+	if len(res.X) != 128 {
+		t.Fatal("wrong point count")
+	}
+	// Same mean/std by construction; densities differ strongly.
+	var maxDiff float64
+	for i := range res.X {
+		if d := math.Abs(res.Special[i] - res.Normal[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.01 {
+		t.Errorf("special too close to normal (max diff %g)", maxDiff)
+	}
+}
+
+func TestFig8Converges(t *testing.T) {
+	cfg := testConfig()
+	rows := Fig8(cfg, 10)
+	if len(rows) != 11 {
+		t.Fatalf("got %d rows, want 11", len(rows))
+	}
+	// Paper: after ~5 sums nearly Gaussian, after 10 negligible.
+	if rows[0].KS < rows[5].KS || rows[5].KS < rows[10].KS {
+		// Allow tiny non-monotonicity but the ends must order.
+		if rows[10].KS >= rows[0].KS {
+			t.Errorf("KS did not shrink: %g -> %g -> %g", rows[0].KS, rows[5].KS, rows[10].KS)
+		}
+	}
+	if rows[10].KS > 0.02 {
+		t.Errorf("after 10 sums KS = %g, want < 0.02", rows[10].KS)
+	}
+}
+
+func TestFig9SlackVersusRobustness(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Fig9(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byName := map[string]Fig9Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	wide := rows[0]
+	chain := rows[1]
+	imbal := rows[2]
+	// The wide schedule (max of many i.i.d.) is the most robust.
+	for _, r := range rows[1:] {
+		if wide.StdDev >= r.StdDev {
+			t.Errorf("wide σ=%g not smaller than %s σ=%g", wide.StdDev, r.Name, r.StdDev)
+		}
+	}
+	// The imbalanced schedule has ample slack yet poor robustness.
+	if imbal.Slack <= 0 {
+		t.Error("imbalanced schedule should have positive slack")
+	}
+	if imbal.StdDev <= wide.StdDev {
+		t.Error("imbalanced should be less robust than wide despite its slack")
+	}
+	// The chain has no slack.
+	if chain.Slack > 1e-6 {
+		t.Errorf("chain slack = %g, want 0", chain.Slack)
+	}
+	_ = byName
+}
+
+func TestReportsRender(t *testing.T) {
+	cfg := testConfig()
+	res, err := RunCase(Fig3Case(cfg.Seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	WriteCase(&b, res)
+	out := b.String()
+	for _, want := range []string{"Pearson", "BIL", "HEFT", "HBMCT", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("case report missing %q", want)
+		}
+	}
+	if s := SummarizeHeuristics(res); !strings.Contains(s, "sigma_M") {
+		t.Errorf("heuristics summary malformed: %s", s)
+	}
+
+	b.Reset()
+	WriteFig1(&b, []Fig1Row{{N: 10, KS: 0.01, CM: 0.1}})
+	if !strings.Contains(b.String(), "Fig. 1") {
+		t.Error("fig1 report malformed")
+	}
+	b.Reset()
+	WriteFig7(&b, Fig7(16))
+	if !strings.Contains(b.String(), "special") {
+		t.Error("fig7 report malformed")
+	}
+	b.Reset()
+	WriteFig8(&b, Fig8(cfg, 2))
+	if !strings.Contains(b.String(), "sums") {
+		t.Error("fig8 report malformed")
+	}
+	rows, err := Fig9(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	WriteFig9(&b, rows)
+	if !strings.Contains(b.String(), "slack") {
+		t.Error("fig9 report malformed")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := DefaultConfig()
+	if c.workers() < 1 {
+		t.Error("workers must be positive")
+	}
+	if c.schedulesFor(10) != c.Schedules {
+		t.Error("small graphs get the full budget")
+	}
+	if c.schedulesFor(100) >= c.Schedules {
+		t.Error("large graphs get a reduced budget")
+	}
+	p := PaperConfig()
+	if p.Schedules != 10000 || p.MCRealizations != 100000 {
+		t.Error("paper config wrong")
+	}
+	if BenchConfig().Schedules >= DefaultConfig().Schedules {
+		t.Error("bench config should be smaller")
+	}
+}
+
+func TestGraphKindString(t *testing.T) {
+	names := map[GraphKind]string{
+		RandomGraph: "random", CholeskyGraph: "cholesky",
+		GaussElimGraph: "gausselim", JoinGraph: "join", GraphKind(9): "kind(9)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestPairStats(t *testing.T) {
+	res := &Fig6Result{
+		Mean: [][]float64{
+			{1, 0.9, 0, 0, 0, 0, 0, 0},
+			{0.9, 1, 0, 0, 0, 0, 0, 0},
+			{0, 0, 1, 0, 0, 0, 0, 0},
+			{0, 0, 0, 1, 0, 0, 0, 0},
+			{0, 0, 0, 0, 1, 0, 0, 0},
+			{0, 0, 0, 0, 0, 1, 0, 0},
+			{0, 0, 0, 0, 0, 0, 1, 0},
+			{0, 0, 0, 0, 0, 0, 0, 1},
+		},
+		Std: make([][]float64, 8),
+	}
+	for i := range res.Std {
+		res.Std[i] = make([]float64, 8)
+	}
+	res.Std[0][1] = 0.05
+	mean, std, err := res.PairStats("makespan", "stddev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 0.9 || std != 0.05 {
+		t.Errorf("PairStats = (%g,%g), want (0.9,0.05)", mean, std)
+	}
+	if _, _, err := res.PairStats("makespan", "nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestRunCaseSingleProcessor(t *testing.T) {
+	// Degenerate platform: one processor. Slack is all zero, several
+	// correlations are NaN; the runner must not crash.
+	cfg := testConfig()
+	cfg.Schedules = 15
+	spec := CaseSpec{Name: "m1", Kind: RandomGraph, N: 10, M: 1, UL: 1.1, Seed: 5}
+	res, err := RunCase(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) != 15 {
+		t.Fatalf("got %d metric vectors", len(res.Metrics))
+	}
+	for _, m := range res.Metrics {
+		if math.Abs(m.AvgSlack) > 1e-6 {
+			t.Errorf("single-proc slack = %g, want 0", m.AvgSlack)
+		}
+	}
+}

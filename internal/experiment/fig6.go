@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Fig6Result aggregates the correlation matrices of the 24 cases into
+// the paper's Fig. 6: element-wise mean (upper triangle when printed)
+// and standard deviation (lower triangle), plus the §VII side result
+// on R(γ)/M.
+type Fig6Result struct {
+	Cases          []*CaseResult
+	Mean, Std      [][]float64
+	RelByMkspnMean float64 // mean Pearson of (1-R)/M vs σ_M (paper: 0.998)
+	RelByMkspnStd  float64 // its std-dev across cases (paper: 0.009)
+}
+
+// Fig6 runs all correlation cases and aggregates their Pearson
+// matrices. progress, when non-nil, receives one call per finished
+// case.
+func Fig6(cfg Config, progress func(done, total int, name string)) (*Fig6Result, error) {
+	specs := Fig6Cases(cfg.Seed)
+	res := &Fig6Result{}
+	var mats [][][]float64
+	var relVals []float64
+	for i, spec := range specs {
+		cr, err := RunCase(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Cases = append(res.Cases, cr)
+		mats = append(mats, cr.Corr)
+		if !math.IsNaN(cr.RelByMakespanVsStd) {
+			relVals = append(relVals, cr.RelByMakespanVsStd)
+		}
+		if progress != nil {
+			progress(i+1, len(specs), spec.Name)
+		}
+	}
+	mean, std, err := stats.AggregateMatrices(mats)
+	if err != nil {
+		return nil, err
+	}
+	res.Mean, res.Std = mean, std
+	if len(relVals) > 0 {
+		var sum float64
+		for _, v := range relVals {
+			sum += v
+		}
+		mu := sum / float64(len(relVals))
+		var ss float64
+		for _, v := range relVals {
+			d := v - mu
+			ss += d * d
+		}
+		res.RelByMkspnMean = mu
+		res.RelByMkspnStd = math.Sqrt(ss / float64(len(relVals)))
+	}
+	return res, nil
+}
+
+// PairStats returns the aggregated mean and std of the correlation
+// between two metrics by name (as listed in robustness.MetricNames).
+func (r *Fig6Result) PairStats(nameA, nameB string) (mean, std float64, err error) {
+	ia, ib := metricIndex(nameA), metricIndex(nameB)
+	if ia < 0 || ib < 0 {
+		return 0, 0, fmt.Errorf("experiment: unknown metric name %q or %q", nameA, nameB)
+	}
+	return r.Mean[ia][ib], r.Std[ia][ib], nil
+}
+
+func metricIndex(name string) int {
+	for i, n := range metricShortNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// metricShortNames are compact labels used in reports and PairStats.
+var metricShortNames = []string{
+	"makespan", "stddev", "entropy", "slack", "slackstd", "lateness", "absprob", "relprob",
+}

@@ -1,0 +1,295 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/graphgen"
+	"repro/internal/heuristics"
+	"repro/internal/makespan"
+	"repro/internal/numeric"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/stochastic"
+)
+
+// distCDF adapts an analytic distribution to the stats.CDF interface.
+type distCDF struct{ d stochastic.Dist }
+
+func (a distCDF) CDFAt(x float64) float64 { return a.d.CDF(x) }
+
+// Fig1Row is one point of Fig. 1: the average KS and CM distances
+// between the classical (independence-assumption) makespan CDF and the
+// Monte-Carlo CDF for random graphs of a given size.
+type Fig1Row struct {
+	N      int
+	KS, CM float64
+}
+
+// Fig1 reproduces Fig. 1 ("average precision with the independence
+// assumption", UL = 1.1): for each graph size, several random
+// schedules of random graphs are evaluated both analytically and by
+// Monte Carlo, and the CDF distances are averaged.
+func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
+	if len(sizes) == 0 {
+		sizes = []int{10, 30, 100}
+	}
+	if schedulesPerSize <= 0 {
+		schedulesPerSize = 5
+	}
+	procsFor := func(n int) int {
+		switch {
+		case n <= 10:
+			return 3
+		case n <= 30:
+			return 8
+		default:
+			return 16
+		}
+	}
+	var rows []Fig1Row
+	for si, n := range sizes {
+		spec := CaseSpec{
+			Name: fmt.Sprintf("fig1-n%d", n), Kind: RandomGraph,
+			N: n, M: procsFor(n), UL: 1.1, Seed: cfg.Seed + int64(si)*77,
+		}
+		scen, err := spec.BuildScenario()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(spec.Seed + 13))
+		var ksSum, cmSum float64
+		for k := 0; k < schedulesPerSize; k++ {
+			s := heuristics.RandomSchedule(scen, rng)
+			rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+			if err != nil {
+				return nil, err
+			}
+			emp, err := makespan.MonteCarlo(scen, s, cfg.MCRealizations, spec.Seed+int64(k))
+			if err != nil {
+				return nil, err
+			}
+			ksSum += stats.KSAgainstEmpirical(rv, emp)
+			lo, hi := stats.SupportUnion(rv, emp)
+			cmSum += stats.CMArea(rv, emp, lo, hi, 1024)
+		}
+		rows = append(rows, Fig1Row{
+			N:  scen.G.N(),
+			KS: ksSum / float64(schedulesPerSize),
+			CM: cmSum / float64(schedulesPerSize),
+		})
+	}
+	return rows, nil
+}
+
+// Fig2Result carries the two density curves of Fig. 2: the calculated
+// makespan distribution against the Monte-Carlo histogram, with the
+// achieved KS and CM distances.
+type Fig2Result struct {
+	X          []float64
+	Calculated []float64
+	Empirical  []float64
+	KS, CM     float64
+}
+
+// Fig2 reproduces Fig. 2 (visual comparison of the calculated and
+// experimental distributions on a large case). The paper shows a
+// ~100-task graph where KS ≈ 0.17 yet the curves nearly coincide.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	spec := Fig5Case(cfg.Seed + 999)
+	scen, err := spec.BuildScenario()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 4242))
+	s := heuristics.RandomSchedule(scen, rng)
+	rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+	if err != nil {
+		return nil, err
+	}
+	emp, err := makespan.MonteCarlo(scen, s, cfg.MCRealizations, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	empRV := emp.ToNumeric(cfg.GridSize)
+	lo, hi := stats.SupportUnion(rv, emp)
+	xs := numeric.Linspace(lo, hi, 256)
+	res := &Fig2Result{
+		X:          xs,
+		Calculated: make([]float64, len(xs)),
+		Empirical:  make([]float64, len(xs)),
+		KS:         stats.KSAgainstEmpirical(rv, emp),
+		CM:         stats.CMArea(rv, emp, lo, hi, 1024),
+	}
+	for i, x := range xs {
+		res.Calculated[i] = rv.PDFAt(x)
+		res.Empirical[i] = empRV.PDFAt(x)
+	}
+	return res, nil
+}
+
+// Fig7Result carries the density curves of Fig. 7: the special
+// concatenated-Beta distribution against the normal with identical
+// mean and standard deviation.
+type Fig7Result struct {
+	X       []float64
+	Special []float64
+	Normal  []float64
+	Mean    float64
+	Std     float64
+}
+
+// Fig7 reproduces Fig. 7.
+func Fig7(points int) *Fig7Result {
+	if points <= 0 {
+		points = 256
+	}
+	sp := stochastic.NewSpecial()
+	n := sp.MatchedNormal()
+	xs := numeric.Linspace(0, sp.Width, points)
+	res := &Fig7Result{
+		X:       xs,
+		Special: make([]float64, points),
+		Normal:  make([]float64, points),
+		Mean:    sp.Mean(),
+		Std:     stochastic.StdDev(sp),
+	}
+	for i, x := range xs {
+		res.Special[i] = sp.PDF(x)
+		res.Normal[i] = n.PDF(x)
+	}
+	return res
+}
+
+// Fig8Row is one point of Fig. 8: the KS and CM distance between the
+// k-fold self-sum of the special distribution and the matched normal.
+// CM is the paper's absolute-area variant (Fig. 1 units); because the
+// support widens as the sums accumulate, the scale-free ω²
+// (Cramér–von-Mises proper) is also reported and shows the steep CLT
+// decay of the paper's log plot.
+type Fig8Row struct {
+	Sums       int // number of summations (0 = the distribution itself)
+	KS, CM     float64
+	CvMSquared float64
+}
+
+// Fig8 reproduces Fig. 8: convergence of repeated self-sums of the
+// special distribution to normality (the CLT argument behind the
+// metric equivalences). maxSums <= 0 selects the paper's 30.
+func Fig8(cfg Config, maxSums int) []Fig8Row {
+	if maxSums <= 0 {
+		maxSums = 30
+	}
+	sp := stochastic.NewSpecial()
+	base := stochastic.FromDist(sp, 128)
+	cur := base.Clone()
+	rows := make([]Fig8Row, 0, maxSums+1)
+	for k := 0; k <= maxSums; k++ {
+		match := stochastic.Normal{Mu: cur.Mean(), Sigma: cur.StdDev()}
+		lo, hi := cur.Lo(), cur.Hi()
+		rows = append(rows, Fig8Row{
+			Sums:       k,
+			KS:         stats.KS(cur, distCDF{match}, lo, hi, 1024),
+			CM:         stats.CMArea(cur, distCDF{match}, lo, hi, 1024),
+			CvMSquared: stats.CvMSquared(cur, distCDF{match}, lo, hi, 1024),
+		})
+		if k < maxSums {
+			cur = cur.Add(base, 128)
+		}
+	}
+	return rows
+}
+
+// Fig9Row summarizes one of the four join-graph schedules of Fig. 9.
+type Fig9Row struct {
+	Name     string
+	Slack    float64 // average slack S
+	StdDev   float64 // σ_M (robustness)
+	Makespan float64 // E(M)
+}
+
+// Fig9 reproduces the Fig. 9 case study: a join graph of N+1 i.i.d.
+// tasks scheduled four ways. The numbers demonstrate the paper's §VII
+// argument: slack does not predict robustness — the wide (max of many
+// i.i.d.) schedule is the most robust with no slack, while the
+// imbalanced schedule has ample slack and poor robustness.
+func Fig9(cfg Config, n int) ([]Fig9Row, error) {
+	if n <= 2 {
+		n = 8
+	}
+	g := graphgen.Join(n+1, 0)
+	// Identical tasks: i.i.d. durations on every processor.
+	etc := make([][]float64, n+1)
+	for i := range etc {
+		etc[i] = make([]float64, n)
+		for j := range etc[i] {
+			etc[i][j] = 10
+		}
+	}
+	tau, lat := platform.NewUniformNetwork(n, 1, 0)
+	scen := &platform.Scenario{
+		G:  g,
+		P:  &platform.Platform{M: n, ETC: etc, Tau: tau, Lat: lat},
+		UL: 1.5,
+	}
+	sink := dag.Task(n)
+
+	build := func(name string, assign func(s *schedule.Schedule)) (Fig9Row, error) {
+		s := schedule.New(n+1, n)
+		assign(s)
+		rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+		if err != nil {
+			return Fig9Row{}, fmt.Errorf("experiment: fig9 %s: %w", name, err)
+		}
+		m, err := evaluateOne(scen, s, cfg)
+		if err != nil {
+			return Fig9Row{}, fmt.Errorf("experiment: fig9 %s: %w", name, err)
+		}
+		return Fig9Row{Name: name, Slack: m.AvgSlack, StdDev: rv.StdDev(), Makespan: rv.Mean()}, nil
+	}
+
+	specs := []struct {
+		name   string
+		assign func(s *schedule.Schedule)
+	}{
+		{"wide (1 task/proc)", func(s *schedule.Schedule) {
+			for i := 0; i < n; i++ {
+				s.Assign(dag.Task(i), i)
+			}
+			s.Assign(sink, 0)
+		}},
+		{"chain (all on p0)", func(s *schedule.Schedule) {
+			for i := 0; i < n; i++ {
+				s.Assign(dag.Task(i), 0)
+			}
+			s.Assign(sink, 0)
+		}},
+		{"imbalanced (N-1 + 1)", func(s *schedule.Schedule) {
+			for i := 0; i < n-1; i++ {
+				s.Assign(dag.Task(i), 0)
+			}
+			s.Assign(dag.Task(n-1), 1)
+			s.Assign(sink, 0)
+		}},
+		{"balanced (2 chains)", func(s *schedule.Schedule) {
+			for i := 0; i < n/2; i++ {
+				s.Assign(dag.Task(i), 0)
+			}
+			for i := n / 2; i < n; i++ {
+				s.Assign(dag.Task(i), 1)
+			}
+			s.Assign(sink, 0)
+		}},
+	}
+	rows := make([]Fig9Row, 0, len(specs))
+	for _, sp := range specs {
+		row, err := build(sp.name, sp.assign)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/robustness"
+	"repro/internal/stats"
+)
+
+// WriteFig1 renders the Fig. 1 table.
+func WriteFig1(w io.Writer, rows []Fig1Row) {
+	fmt.Fprintln(w, "# Fig. 1 — average precision of the independence assumption (UL = 1.1)")
+	fmt.Fprintln(w, "# graph_size  KS  CM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d  %.4g  %.4g\n", r.N, r.KS, r.CM)
+	}
+}
+
+// WriteFig2 renders the Fig. 2 density series.
+func WriteFig2(w io.Writer, res *Fig2Result) {
+	fmt.Fprintf(w, "# Fig. 2 — calculated vs experimental makespan density (KS = %.3g, CM = %.3g)\n", res.KS, res.CM)
+	fmt.Fprintln(w, "# makespan  calculated  experimental")
+	for i := range res.X {
+		fmt.Fprintf(w, "%.6g  %.6g  %.6g\n", res.X[i], res.Calculated[i], res.Empirical[i])
+	}
+}
+
+// WriteCase renders a correlation case in the style of Figs. 3–5: the
+// Pearson matrix over the random schedules, then the heuristics'
+// metric vectors.
+func WriteCase(w io.Writer, res *CaseResult) {
+	fmt.Fprintf(w, "# %s — %d random schedules, graph %s (n=%d, m=%d, UL=%g)\n",
+		res.Spec.Name, len(res.Metrics), res.Spec.Kind, res.Spec.N, res.Spec.M, res.Spec.UL)
+	fmt.Fprintln(w, "# Pearson coefficients over the random schedules (slack and probabilistic metrics inverted):")
+	fmt.Fprint(w, stats.FormatMatrix(metricShortNames, res.Corr, nil))
+	fmt.Fprintf(w, "# (1-R)/M vs sigma_M Pearson: %.4f\n", res.RelByMakespanVsStd)
+	fmt.Fprintln(w, "# heuristics:")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+		"name", "makespan", "stddev", "entropy", "slack", "slackstd", "lateness", "absprob", "relprob")
+	for _, h := range res.Heuristics {
+		v := h.Metrics.Vector()
+		fmt.Fprintf(w, "%-8s", h.Name)
+		for _, x := range v {
+			fmt.Fprintf(w, " %12.5g", x)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "# best random makespan: %.5g\n", res.BestRandomMakespan())
+}
+
+// WriteFig6 renders the aggregated matrix in the paper's layout (mean
+// above the diagonal, std-dev below).
+func WriteFig6(w io.Writer, res *Fig6Result) {
+	fmt.Fprintf(w, "# Fig. 6 — Pearson coefficients over %d experiments (mean above diagonal, std-dev below)\n", len(res.Cases))
+	fmt.Fprint(w, stats.FormatMatrix(metricShortNames, res.Mean, res.Std))
+	fmt.Fprintf(w, "# (1-R)/M vs sigma_M: mean %.4f, std %.4f (paper: 0.998 ± 0.009)\n",
+		res.RelByMkspnMean, res.RelByMkspnStd)
+}
+
+// WriteFig7 renders the special-vs-normal density table.
+func WriteFig7(w io.Writer, res *Fig7Result) {
+	fmt.Fprintf(w, "# Fig. 7 — special distribution vs normal (mean %.4g, std %.4g)\n", res.Mean, res.Std)
+	fmt.Fprintln(w, "# x  special  normal")
+	for i := range res.X {
+		fmt.Fprintf(w, "%.6g  %.6g  %.6g\n", res.X[i], res.Special[i], res.Normal[i])
+	}
+}
+
+// WriteFig8 renders the CLT convergence table.
+func WriteFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintln(w, "# Fig. 8 — precision of the normal approximation of n-fold self-sums")
+	fmt.Fprintln(w, "# sums  KS  CM(area)  CvM(omega2)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d  %.4g  %.4g  %.4g\n", r.Sums, r.KS, r.CM, r.CvMSquared)
+	}
+}
+
+// WriteFig9 renders the slack-vs-robustness case study.
+func WriteFig9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintln(w, "# Fig. 9 — join-graph schedules: slack does not predict robustness")
+	fmt.Fprintf(w, "%-22s %12s %12s %12s\n", "schedule", "slack", "sigma_M", "E(M)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %12.5g %12.5g %12.5g\n", r.Name, r.Slack, r.StdDev, r.Makespan)
+	}
+}
+
+// SummarizeHeuristics produces the §VI/§VII claim check: for each
+// heuristic, whether it beats the best random schedule on expected
+// makespan and where its σ_M ranks among the random schedules
+// (fraction of random schedules with smaller σ_M).
+func SummarizeHeuristics(res *CaseResult) string {
+	var b strings.Builder
+	best := res.BestRandomMakespan()
+	for _, h := range res.Heuristics {
+		rank := sigmaRank(res.Metrics, h.Metrics.StdDev)
+		fmt.Fprintf(&b, "%s: E(M)=%.5g (best random %.5g, %s), sigma_M beats %.0f%% of random schedules\n",
+			h.Name, h.Metrics.Makespan, best,
+			okWord(h.Metrics.Makespan <= best), 100*rank)
+	}
+	return b.String()
+}
+
+func sigmaRank(ms []robustness.Metrics, sigma float64) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	var worse int
+	for _, m := range ms {
+		if m.StdDev >= sigma {
+			worse++
+		}
+	}
+	return float64(worse) / float64(len(ms))
+}
+
+func okWord(ok bool) string {
+	if ok {
+		return "better"
+	}
+	return "worse"
+}

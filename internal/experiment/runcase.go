@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/heuristics"
+	"repro/internal/makespan"
+	"repro/internal/platform"
+	"repro/internal/robustness"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+)
+
+// HeuristicResult pairs a heuristic's name with its metric vector.
+type HeuristicResult struct {
+	Name    string
+	Metrics robustness.Metrics
+}
+
+// CaseResult is the outcome of one correlation case: the metric
+// vectors of every random schedule, the three heuristics' vectors, and
+// the 8×8 Pearson matrix over the random schedules (computed on the
+// inverted columns, like the paper's plots).
+type CaseResult struct {
+	Spec       CaseSpec
+	Metrics    []robustness.Metrics
+	Heuristics []HeuristicResult
+	Corr       [][]float64
+	// RelByMakespanVsStd is the §VII side result: Pearson of the
+	// (inverted) relative probabilistic metric divided by the makespan
+	// against the makespan standard deviation.
+	RelByMakespanVsStd float64
+}
+
+// InvertedColumns converts metric vectors into the column orientation
+// of the paper's plots: the slack is subtracted from the case maximum
+// and the probabilistic metrics from 1, so that every metric improves
+// downward (§VI).
+func InvertedColumns(ms []robustness.Metrics) [][]float64 {
+	k := robustness.NumMetrics
+	cols := make([][]float64, k)
+	for i := range cols {
+		cols[i] = make([]float64, len(ms))
+	}
+	maxSlack := math.Inf(-1)
+	for _, m := range ms {
+		if m.AvgSlack > maxSlack {
+			maxSlack = m.AvgSlack
+		}
+	}
+	for r, m := range ms {
+		v := m.Vector()
+		for c := 0; c < k; c++ {
+			cols[c][r] = v[c]
+		}
+		cols[3][r] = maxSlack - m.AvgSlack // slack: maximize → minimize
+		cols[6][r] = 1 - m.AbsProb         // A(δ): maximize → minimize
+		cols[7][r] = 1 - m.RelProb         // R(γ): maximize → minimize
+	}
+	return cols
+}
+
+// evaluateOne computes the metric vector of one schedule under the
+// classical makespan evaluation.
+func evaluateOne(scen *platform.Scenario, s *schedule.Schedule, cfg Config) (robustness.Metrics, error) {
+	rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+	if err != nil {
+		return robustness.Metrics{}, err
+	}
+	return robustness.FromDistribution(scen, s, rv, cfg.params())
+}
+
+// RunCase executes one correlation case: it generates the scenario,
+// draws the configured number of random schedules, evaluates all
+// metrics for each (in parallel), evaluates the three heuristics, and
+// assembles the Pearson matrix.
+func RunCase(spec CaseSpec, cfg Config) (*CaseResult, error) {
+	scen, err := spec.BuildScenario()
+	if err != nil {
+		return nil, err
+	}
+	nSched := cfg.schedulesFor(scen.G.N())
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
+	scheds := heuristics.RandomSchedules(scen, nSched, rng)
+
+	metrics := make([]robustness.Metrics, nSched)
+	errs := make([]error, nSched)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for i := range scheds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			metrics[i], errs[i] = evaluateOne(scen, scheds[i], cfg)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiment: case %q: %w", spec.Name, err)
+		}
+	}
+
+	res := &CaseResult{Spec: spec, Metrics: metrics}
+	for _, h := range heuristics.All() {
+		hr, err := h.Fn(scen)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
+		}
+		m, err := evaluateOne(scen, hr.Schedule, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
+		}
+		res.Heuristics = append(res.Heuristics, HeuristicResult{Name: h.Name, Metrics: m})
+	}
+
+	cols := InvertedColumns(metrics)
+	corr, err := stats.CorrMatrix(cols)
+	if err != nil {
+		return nil, err
+	}
+	res.Corr = corr
+
+	// §VII: the relative probabilistic metric divided by the makespan
+	// (then inverted like the other probabilistic metrics) against σ_M.
+	relBy := make([]float64, nSched)
+	stds := make([]float64, nSched)
+	for i, m := range metrics {
+		relBy[i] = 1 - m.RelProbByMakespan()
+		stds[i] = m.StdDev
+	}
+	res.RelByMakespanVsStd = stats.Pearson(relBy, stds)
+	return res, nil
+}
+
+// BestRandomMakespan returns the smallest expected makespan among the
+// case's random schedules (used to check the heuristics dominate).
+func (r *CaseResult) BestRandomMakespan() float64 {
+	best := math.Inf(1)
+	for _, m := range r.Metrics {
+		if m.Makespan < best {
+			best = m.Makespan
+		}
+	}
+	return best
+}

@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/heuristics"
+	"repro/internal/platform"
+	"repro/internal/robustness"
+	"repro/internal/stats"
+	"repro/internal/stochastic"
+)
+
+// VariableULResult is the outcome of the §VIII future-work experiment:
+// how the makespan↔σ_M correlation and the mean-based heuristics
+// behave once the uncertainty level varies per task (breaking the
+// proportionality between duration means and standard deviations), and
+// whether the σ-aware SDHEFT heuristic helps.
+type VariableULResult struct {
+	ConstCorr float64 // Pearson(E(M), σ_M) with constant UL
+	VarCorr   float64 // Pearson(E(M), σ_M) with per-task UL in [ULLo, ULHi]
+	ULLo      float64
+	ULHi      float64
+
+	// Heuristic comparison under the variable-UL scenario.
+	HEFTMakespan   float64
+	HEFTStd        float64
+	SDHEFTMakespan float64
+	SDHEFTStd      float64
+	Lambda         float64
+
+	// Sweep reports SDHEFT across a λ ladder (λ = 0 is HEFT's cost
+	// model) so the makespan/robustness trade-off is visible.
+	Sweep []SDHEFTPoint
+
+	// Noisy-processor study: half the machines are stable
+	// (UL = 1.02), half noisy (UL = 2.0), with per-task means
+	// equalized so a mean-based heuristic cannot tell them apart.
+	NoisyHEFTMakespan   float64
+	NoisyHEFTStd        float64
+	NoisySDHEFTMakespan float64
+	NoisySDHEFTStd      float64
+}
+
+// SDHEFTPoint is one λ of the SDHEFT sweep.
+type SDHEFTPoint struct {
+	Lambda   float64
+	Makespan float64
+	Std      float64
+	Differs  bool // schedule differs from HEFT's
+}
+
+// runCorr draws schedules for a prepared scenario and returns
+// Pearson(E(M), σ_M) over them.
+func runCorr(scen *platform.Scenario, nSched int, seed int64, cfg Config) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := make([]float64, 0, nSched)
+	sd := make([]float64, 0, nSched)
+	for i := 0; i < nSched; i++ {
+		s := heuristics.RandomSchedule(scen, rng)
+		m, err := evaluateOne(scen, s, cfg)
+		if err != nil {
+			return 0, err
+		}
+		mk = append(mk, m.Makespan)
+		sd = append(sd, m.StdDev)
+	}
+	return stats.Pearson(mk, sd), nil
+}
+
+// VariableUL runs the paper's §VIII conjecture: with a constant UL the
+// makespan is a decent robustness proxy because every σ is
+// proportional to its mean; with a variable per-task UL that
+// equivalence breaks, the makespan↔σ correlation drops, and a
+// σ-aware heuristic (SDHEFT) can buy robustness that HEFT cannot see.
+func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
+	if lambda <= 0 {
+		lambda = 1
+	}
+	spec := Fig4Case(cfg.Seed + 17)
+	base, err := spec.BuildScenario()
+	if err != nil {
+		return nil, err
+	}
+	base.UL = 1.1
+	res := &VariableULResult{ULLo: 1.0, ULHi: 1.8, Lambda: lambda}
+
+	nSched := cfg.schedulesFor(base.G.N())
+	res.ConstCorr, err = runCorr(base, nSched, cfg.Seed+1, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	varScen := base.WithVariableUL(res.ULLo, res.ULHi, rand.New(rand.NewSource(cfg.Seed+2)))
+	res.VarCorr, err = runCorr(varScen, nSched, cfg.Seed+3, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	hr, err := heuristics.HEFT(varScen)
+	if err != nil {
+		return nil, err
+	}
+	hm, err := evaluateOne(varScen, hr.Schedule, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := heuristics.SDHEFT(varScen, lambda)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := evaluateOne(varScen, sr.Schedule, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.HEFTMakespan, res.HEFTStd = hm.Makespan, hm.StdDev
+	res.SDHEFTMakespan, res.SDHEFTStd = sm.Makespan, sm.StdDev
+
+	for _, l := range []float64{0, 0.5, 1, 2, 4, 8} {
+		pr, err := heuristics.SDHEFT(varScen, l)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := evaluateOne(varScen, pr.Schedule, cfg)
+		if err != nil {
+			return nil, err
+		}
+		differs := false
+		for i := range pr.Schedule.Proc {
+			if pr.Schedule.Proc[i] != hr.Schedule.Proc[i] {
+				differs = true
+				break
+			}
+		}
+		res.Sweep = append(res.Sweep, SDHEFTPoint{
+			Lambda: l, Makespan: pm.Makespan, Std: pm.StdDev, Differs: differs,
+		})
+	}
+
+	// Noisy-processor study (mean-equalized stable vs noisy machines).
+	noisy := base.WithNoisyProcessors(1.02, 2.0)
+	nh, err := heuristics.HEFT(noisy)
+	if err != nil {
+		return nil, err
+	}
+	nhm, err := evaluateOne(noisy, nh.Schedule, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := heuristics.SDHEFT(noisy, lambda)
+	if err != nil {
+		return nil, err
+	}
+	nsm, err := evaluateOne(noisy, ns.Schedule, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.NoisyHEFTMakespan, res.NoisyHEFTStd = nhm.Makespan, nhm.StdDev
+	res.NoisySDHEFTMakespan, res.NoisySDHEFTStd = nsm.Makespan, nsm.StdDev
+	return res, nil
+}
+
+// OscillatingDurationsCase reruns one correlation case with the
+// paper's "non-standard probability distributions (with some
+// oscillations)" future-work item: durations follow a shifted
+// concatenated-Beta mixture instead of Beta(2,5). Returns the Pearson
+// matrix over the random schedules so callers can verify the metric
+// equivalences survive the distribution swap.
+func OscillatingDurationsCase(cfg Config) (*CaseResult, error) {
+	spec := Fig3Case(cfg.Seed + 23)
+	spec.Name = "oscillating-" + spec.Name
+	spec.UL = 1.2 // widen the interval so the lobes are visible
+	scen, err := spec.BuildScenario()
+	if err != nil {
+		return nil, err
+	}
+	scen.UL = spec.UL
+	scen.DurFn = func(min, ul float64) stochastic.Dist {
+		return stochastic.Shifted{
+			D:   stochastic.NewSpecialWith(min*(ul-1), []float64{0.5, 0.3, 0.2}),
+			Off: min,
+		}
+	}
+	nSched := cfg.schedulesFor(scen.G.N())
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
+	scheds := heuristics.RandomSchedules(scen, nSched, rng)
+	metrics := make([]robustness.Metrics, nSched)
+	for i, s := range scheds {
+		m, err := evaluateOne(scen, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		metrics[i] = m
+	}
+	cols := InvertedColumns(metrics)
+	corr, err := stats.CorrMatrix(cols)
+	if err != nil {
+		return nil, err
+	}
+	relBy := make([]float64, nSched)
+	stds := make([]float64, nSched)
+	for i, m := range metrics {
+		relBy[i] = 1 - m.RelProbByMakespan()
+		stds[i] = m.StdDev
+	}
+	return &CaseResult{
+		Spec: spec, Metrics: metrics, Corr: corr,
+		RelByMakespanVsStd: stats.Pearson(relBy, stds),
+	}, nil
+}
+
+// WriteVariableUL renders the variable-UL report.
+func WriteVariableUL(w io.Writer, res *VariableULResult) {
+	fmt.Fprintln(w, "# §VIII future work — variable uncertainty levels")
+	fmt.Fprintf(w, "Pearson(E(M), sigma_M) with constant UL=1.1:        %+.4f\n", res.ConstCorr)
+	fmt.Fprintf(w, "Pearson(E(M), sigma_M) with per-task UL in [%g,%g]: %+.4f\n", res.ULLo, res.ULHi, res.VarCorr)
+	fmt.Fprintln(w, "\nheuristics under variable UL:")
+	fmt.Fprintf(w, "  HEFT   E(M)=%.4g  sigma_M=%.4g\n", res.HEFTMakespan, res.HEFTStd)
+	fmt.Fprintf(w, "  SDHEFT E(M)=%.4g  sigma_M=%.4g  (lambda=%g)\n", res.SDHEFTMakespan, res.SDHEFTStd, res.Lambda)
+	fmt.Fprintln(w, "\nSDHEFT lambda sweep (lambda=0 ~ HEFT cost model):")
+	fmt.Fprintf(w, "  %8s %12s %12s %10s\n", "lambda", "E(M)", "sigma_M", "differs")
+	for _, p := range res.Sweep {
+		fmt.Fprintf(w, "  %8g %12.5g %12.5g %10v\n", p.Lambda, p.Makespan, p.Std, p.Differs)
+	}
+	fmt.Fprintln(w, "\nnoisy-processor study (half stable UL=1.02, half noisy UL=2.0, means equalized):")
+	fmt.Fprintf(w, "  HEFT   E(M)=%.5g  sigma_M=%.5g   (mean-based: blind to the noise)\n",
+		res.NoisyHEFTMakespan, res.NoisyHEFTStd)
+	fmt.Fprintf(w, "  SDHEFT E(M)=%.5g  sigma_M=%.5g   (prefers stable machines)\n",
+		res.NoisySDHEFTMakespan, res.NoisySDHEFTStd)
+}

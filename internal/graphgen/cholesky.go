@@ -1,0 +1,105 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Cholesky builds the task graph of a tiled right-looking Cholesky
+// factorization of an N×N tile matrix: POTRF (diagonal factorization),
+// TRSM (panel solve), SYRK (diagonal update) and GEMM (trailing
+// update) kernels with their standard dependencies. N = 3 yields the
+// 10-task graph used in Fig. 3 of the paper.
+//
+// Edge communication volumes are drawn uniformly from
+// [volLo, volHi] — the paper gives real-application graphs
+// communication weights "with the same order" as the computation times.
+// Task counts: N(N+1)(N+2)/6.
+func Cholesky(n int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	type key struct{ kind, k, i, j int }
+	const (
+		potrf = iota
+		trsm
+		syrk
+		gemm
+	)
+	ids := make(map[key]dag.Task)
+	var count int
+	add := func(kind, k, i, j int) dag.Task {
+		t := dag.Task(count)
+		ids[key{kind, k, i, j}] = t
+		count++
+		return t
+	}
+	// Create tasks in a deterministic order.
+	for k := 0; k < n; k++ {
+		add(potrf, k, 0, 0)
+		for i := k + 1; i < n; i++ {
+			add(trsm, k, i, 0)
+		}
+		for i := k + 1; i < n; i++ {
+			add(syrk, k, i, 0)
+		}
+		for i := k + 1; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				add(gemm, k, i, j)
+			}
+		}
+	}
+	g := dag.New(count)
+	names := []string{"POTRF", "TRSM", "SYRK", "GEMM"}
+	for k, t := range ids {
+		switch k.kind {
+		case potrf:
+			g.SetName(t, fmt.Sprintf("%s(%d)", names[k.kind], k.k))
+		case trsm, syrk:
+			g.SetName(t, fmt.Sprintf("%s(%d,%d)", names[k.kind], k.k, k.i))
+		default:
+			g.SetName(t, fmt.Sprintf("%s(%d,%d,%d)", names[k.kind], k.k, k.i, k.j))
+		}
+	}
+	vol := func() float64 {
+		if volHi <= volLo {
+			return volLo
+		}
+		return volLo + rng.Float64()*(volHi-volLo)
+	}
+	edge := func(a, b dag.Task) { _ = g.AddEdge(a, b, vol()) }
+
+	for k := 0; k < n; k++ {
+		pk := ids[key{potrf, k, 0, 0}]
+		// POTRF(k) ← SYRK(k-1, k): the last update of the diagonal block.
+		if k > 0 {
+			edge(ids[key{syrk, k - 1, k, 0}], pk)
+		}
+		for i := k + 1; i < n; i++ {
+			tk := ids[key{trsm, k, i, 0}]
+			edge(pk, tk)
+			// TRSM(k,i) ← GEMM(k-1,k,i): the last update of panel block (i,k).
+			if k > 0 {
+				edge(ids[key{gemm, k - 1, k, i}], tk)
+			}
+			sk := ids[key{syrk, k, i, 0}]
+			edge(tk, sk)
+			// SYRK(k,i) ← SYRK(k-1,i): chained updates of diagonal block i.
+			if k > 0 {
+				edge(ids[key{syrk, k - 1, i, 0}], sk)
+			}
+			for j := i + 1; j < n; j++ {
+				gm := ids[key{gemm, k, i, j}]
+				edge(tk, gm)
+				edge(ids[key{trsm, k, j, 0}], gm)
+				if k > 0 {
+					edge(ids[key{gemm, k - 1, i, j}], gm)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// CholeskyTaskCount returns the number of tasks of Cholesky(n):
+// n(n+1)(n+2)/6.
+func CholeskyTaskCount(n int) int { return n * (n + 1) * (n + 2) / 6 }

@@ -1,0 +1,70 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// GaussElim builds the Gaussian-elimination task graph of Cosnard,
+// Marrakchi, Robert and Trystram for a matrix of size n: at each
+// elimination step k there is one pivot task P(k) followed by the
+// column-update tasks U(k, j) for j = k+1..n. Dependencies:
+//
+//	P(k)      → U(k, j)   for every j  (pivot row is needed by all updates)
+//	U(k, k+1) → P(k+1)    (next pivot column must be up to date)
+//	U(k, j)   → U(k+1, j) for j ≥ k+2  (same column, next step)
+//
+// Task count: (n-1)(n+2)/2. n = 14 gives 104 tasks — the paper's Fig. 5
+// uses a 103-task GE graph, one fewer (the final trivial update),
+// which does not affect the shape of the results.
+func GaussElim(n int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	if n < 2 {
+		return dag.New(0)
+	}
+	type key struct{ k, j int } // j == 0 means pivot
+	ids := make(map[key]dag.Task)
+	var count int
+	for k := 1; k < n; k++ {
+		ids[key{k, 0}] = dag.Task(count)
+		count++
+		for j := k + 1; j <= n; j++ {
+			ids[key{k, j}] = dag.Task(count)
+			count++
+		}
+	}
+	g := dag.New(count)
+	for k, t := range ids {
+		if k.j == 0 {
+			g.SetName(t, fmt.Sprintf("P(%d)", k.k))
+		} else {
+			g.SetName(t, fmt.Sprintf("U(%d,%d)", k.k, k.j))
+		}
+	}
+	vol := func() float64 {
+		if volHi <= volLo {
+			return volLo
+		}
+		return volLo + rng.Float64()*(volHi-volLo)
+	}
+	for k := 1; k < n; k++ {
+		p := ids[key{k, 0}]
+		for j := k + 1; j <= n; j++ {
+			u := ids[key{k, j}]
+			_ = g.AddEdge(p, u, vol())
+			if k+1 < n {
+				if j == k+1 {
+					_ = g.AddEdge(u, ids[key{k + 1, 0}], vol())
+				} else {
+					_ = g.AddEdge(u, ids[key{k + 1, j}], vol())
+				}
+			}
+		}
+	}
+	return g
+}
+
+// GaussElimTaskCount returns the number of tasks of GaussElim(n):
+// (n-1)(n+2)/2.
+func GaussElimTaskCount(n int) int { return (n - 1) * (n + 2) / 2 }

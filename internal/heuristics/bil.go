@@ -1,0 +1,148 @@
+package heuristics
+
+import (
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// BIL implements the Best Imaginary Level heuristic of Oh & Ha for
+// unrelated processors. The basic imaginary level of task i on
+// processor p is
+//
+//	BIL(i,p) = w(i,p) + max_{k ∈ succ(i)} min( BIL(k,p),
+//	                                           min_{q≠p} BIL(k,q) + c̄(i,k) )
+//
+// computed bottom-up. At every step the ready task with the highest
+// priority — the k-th smallest of its basic imaginary makespans
+// BIM(i,p) = EST(i,p) + BIL(i,p), with k = min(#ready, m) — is selected
+// and placed on the processor minimizing its (revised) BIM. When more
+// tasks are ready than processors, the BIM is inflated by the expected
+// queuing factor w(i,p)·(#ready/m − 1) as in the original paper.
+func BIL(scen *platform.Scenario) (Result, error) {
+	m := NewModel(scen)
+	g := scen.G
+	n := g.N()
+	nProc := scen.P.M
+
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Bottom-up computation of BIL(i,p).
+	bil := make([][]float64, n)
+	for i := range bil {
+		bil[i] = make([]float64, nProc)
+	}
+	for idx := len(order) - 1; idx >= 0; idx-- {
+		t := order[idx]
+		for p := 0; p < nProc; p++ {
+			best := 0.0
+			for _, k := range g.Succ(t) {
+				// Cheapest continuation of k: stay on p (no comm) or the
+				// best other processor plus the communication cost.
+				minOther := -1.0
+				for q := 0; q < nProc; q++ {
+					if q == p {
+						continue
+					}
+					if minOther < 0 || bil[k][q] < minOther {
+						minOther = bil[k][q]
+					}
+				}
+				cont := bil[k][p]
+				if minOther >= 0 {
+					if alt := minOther + m.AvgComm(t, k); alt < cont {
+						cont = alt
+					}
+				}
+				if cont > best {
+					best = cont
+				}
+			}
+			bil[t][p] = m.MeanETC[t][p] + best
+		}
+	}
+
+	// List scheduling driven by BIM.
+	b := newBuilder(m)
+	indeg := make([]int, n)
+	var ready []dag.Task
+	for t := 0; t < n; t++ {
+		indeg[t] = len(g.Pred(dag.Task(t)))
+		if indeg[t] == 0 {
+			ready = append(ready, dag.Task(t))
+		}
+	}
+	bims := make([]float64, nProc)
+	for len(ready) > 0 {
+		k := len(ready)
+		if k > nProc {
+			k = nProc
+		}
+		// Select the ready task with the largest k-th smallest BIM.
+		bestIdx := -1
+		bestPriority := 0.0
+		for idx, t := range ready {
+			for p := 0; p < nProc; p++ {
+				bims[p] = b.estAppend(t, p) + bil[t][p]
+			}
+			prio := kthSmallest(bims, k)
+			if bestIdx < 0 || prio > bestPriority ||
+				(prio == bestPriority && t < ready[bestIdx]) {
+				bestIdx, bestPriority = idx, prio
+			}
+		}
+		t := ready[bestIdx]
+		ready[bestIdx] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+
+		// Processor choice: minimize the (revised) BIM.
+		overload := float64(len(ready)+1)/float64(nProc) - 1
+		bestProc := -1
+		bestVal := 0.0
+		bestStart := 0.0
+		for p := 0; p < nProc; p++ {
+			est := b.estAppend(t, p)
+			val := est + bil[t][p]
+			if overload > 0 {
+				val += m.MeanETC[t][p] * overload
+			}
+			if bestProc < 0 || val < bestVal {
+				bestProc, bestVal, bestStart = p, val, est
+			}
+		}
+		b.place(t, bestProc, bestStart)
+		for _, s := range g.Succ(t) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return Result{Schedule: b.sched, Makespan: b.makespan()}, nil
+}
+
+// kthSmallest returns the k-th smallest value of xs (1-based) without
+// mutating xs; k is clamped to [1, len(xs)]. Linear scan — nProc is
+// small.
+func kthSmallest(xs []float64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	// Selection by repeated min extraction on a small copy.
+	tmp := append([]float64(nil), xs...)
+	for i := 0; i < k; i++ {
+		minIdx := i
+		for j := i + 1; j < len(tmp); j++ {
+			if tmp[j] < tmp[minIdx] {
+				minIdx = j
+			}
+		}
+		tmp[i], tmp[minIdx] = tmp[minIdx], tmp[i]
+	}
+	return tmp[k-1]
+}

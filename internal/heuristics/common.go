@@ -1,0 +1,190 @@
+// Package heuristics implements the schedule generators of the paper:
+// the random 3-phase generator of §V and the three makespan-centric
+// list heuristics compared in the evaluation — HEFT (Topcuoglu et al.),
+// BIL (Oh & Ha) and Hyb.BMCT (Sakellariou & Zhao). All heuristics work
+// on mean durations under the Beta(2,5)/UL uncertainty model; with a
+// constant UL this is equivalent to using the minimum durations.
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// Model precomputes the deterministic (mean) costs every list heuristic
+// needs: the mean ETC matrix, per-task processor-averaged durations and
+// placement-agnostic mean communication costs.
+type Model struct {
+	Scen    *platform.Scenario
+	MeanETC [][]float64 // n×m mean durations
+	AvgDur  []float64   // mean duration averaged over processors
+	avgTau  float64
+	avgLat  float64
+}
+
+// NewModel builds the cost model for a scenario.
+func NewModel(scen *platform.Scenario) *Model {
+	n, m := scen.G.N(), scen.P.M
+	meanETC := make([][]float64, n)
+	avgDur := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, m)
+		var sum float64
+		for j := 0; j < m; j++ {
+			row[j] = scen.MeanTask(dag.Task(i), j)
+			sum += row[j]
+		}
+		meanETC[i] = row
+		avgDur[i] = sum / float64(m)
+	}
+	return &Model{
+		Scen:    scen,
+		MeanETC: meanETC,
+		AvgDur:  avgDur,
+		avgTau:  scen.P.AvgTau(),
+		avgLat:  scen.P.AvgLat(),
+	}
+}
+
+// AvgComm returns the placement-agnostic mean communication cost of
+// edge from→to: the mean (under UL) of lat + volume·τ with τ and lat
+// averaged over distinct processor pairs.
+func (m *Model) AvgComm(from, to dag.Task) float64 {
+	if m.Scen.P.M <= 1 {
+		return 0
+	}
+	min := m.avgLat + m.Scen.G.Volume(from, to)*m.avgTau
+	return platform.MeanFromMin(min, m.Scen.UL)
+}
+
+// MeanComm returns the mean communication cost of edge from→to for a
+// concrete placement.
+func (m *Model) MeanComm(from, to dag.Task, pi, pj int) float64 {
+	return m.Scen.MeanComm(from, to, pi, pj)
+}
+
+// UpwardRanks returns HEFT's rank_u: rank(i) = avgDur(i) +
+// max_{s ∈ succ(i)} (avgComm(i,s) + rank(s)).
+func (m *Model) UpwardRanks() ([]float64, error) {
+	g := m.Scen.G
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, g.N())
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		best := 0.0
+		for _, s := range g.Succ(t) {
+			cand := m.AvgComm(t, s) + rank[s]
+			if cand > best {
+				best = cand
+			}
+		}
+		rank[t] = m.AvgDur[t] + best
+	}
+	return rank, nil
+}
+
+// RankOrder returns the tasks sorted by decreasing upward rank (ties by
+// index), which is always a valid topological order.
+func (m *Model) RankOrder() ([]dag.Task, error) {
+	rank, err := m.UpwardRanks()
+	if err != nil {
+		return nil, err
+	}
+	tasks := make([]dag.Task, len(rank))
+	for i := range tasks {
+		tasks[i] = dag.Task(i)
+	}
+	sort.SliceStable(tasks, func(a, b int) bool {
+		ra, rb := rank[tasks[a]], rank[tasks[b]]
+		if ra != rb {
+			return ra > rb
+		}
+		return tasks[a] < tasks[b]
+	})
+	return tasks, nil
+}
+
+// builder incrementally constructs an eager schedule while tracking
+// start/finish times under mean durations. Tasks must be fed in a
+// precedence-compatible order.
+type builder struct {
+	model  *Model
+	sched  *schedule.Schedule
+	start  []float64
+	finish []float64
+	ready  []float64 // per-processor next-free time (append mode)
+}
+
+func newBuilder(m *Model) *builder {
+	n := m.Scen.G.N()
+	b := &builder{
+		model:  m,
+		sched:  schedule.New(n, m.Scen.P.M),
+		start:  make([]float64, n),
+		finish: make([]float64, n),
+		ready:  make([]float64, m.Scen.P.M),
+	}
+	for i := range b.start {
+		b.start[i] = -1
+	}
+	return b
+}
+
+// estAppend returns the earliest start of t on p in append mode: data
+// arrival from all predecessors plus the processor's free time.
+func (b *builder) estAppend(t dag.Task, p int) float64 {
+	est := b.ready[p]
+	for _, pr := range b.model.Scen.G.Pred(t) {
+		arr := b.finish[pr] + b.model.MeanComm(pr, t, b.sched.Proc[pr], p)
+		if arr > est {
+			est = arr
+		}
+	}
+	return est
+}
+
+// place commits t to p with the given start time (append mode).
+func (b *builder) place(t dag.Task, p int, start float64) {
+	b.sched.Assign(t, p)
+	b.start[t] = start
+	b.finish[t] = start + b.model.MeanETC[t][p]
+	if b.finish[t] > b.ready[p] {
+		b.ready[p] = b.finish[t]
+	}
+}
+
+// makespan returns the latest finish among placed tasks.
+func (b *builder) makespan() float64 {
+	var ms float64
+	for i, st := range b.start {
+		if st >= 0 && b.finish[i] > ms {
+			ms = b.finish[i]
+		}
+	}
+	return ms
+}
+
+// Result bundles a heuristic's schedule with its predicted (mean)
+// makespan.
+type Result struct {
+	Schedule *schedule.Schedule
+	Makespan float64 // heuristic's own mean-duration makespan estimate
+}
+
+// sortOrdersByStart normalizes each processor's order by start time
+// (needed after insertion-based placement).
+func sortOrdersByStart(s *schedule.Schedule, start []float64) {
+	for p := range s.Order {
+		ord := s.Order[p]
+		sort.SliceStable(ord, func(i, j int) bool { return start[ord[i]] < start[ord[j]] })
+	}
+}
+
+// almostLE is a float comparison helper tolerant to timing round-off.
+func almostLE(a, b float64) bool { return a <= b+1e-9 }

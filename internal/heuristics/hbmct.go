@@ -1,0 +1,212 @@
+package heuristics
+
+import (
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// HBMCT implements the hybrid heuristic of Sakellariou & Zhao
+// (Hyb.BMCT): tasks are ranked as in HEFT, split into groups of
+// mutually independent tasks following the rank order, and each group
+// is first assigned by minimum completion time and then rebalanced —
+// tasks are moved off the processor that finishes the group last while
+// that improves the group's completion time (Balanced Minimum
+// Completion Time).
+func HBMCT(scen *platform.Scenario) (Result, error) {
+	m := NewModel(scen)
+	g := scen.G
+	n := g.N()
+	nProc := scen.P.M
+
+	order, err := m.RankOrder()
+	if err != nil {
+		return Result{}, err
+	}
+	reach := reachability(g)
+	groups := independentGroups(order, reach)
+
+	proc := make([]int, n)
+	for i := range proc {
+		proc[i] = -1
+	}
+	// seq is the global placement order (rank order), used to recompute
+	// eager timings after every tentative move.
+	var seq []dag.Task
+	start := make([]float64, n)
+	finish := make([]float64, n)
+
+	// recompute replays the eager execution of seq under the current
+	// assignment, in append mode per processor.
+	recompute := func() float64 {
+		ready := make([]float64, nProc)
+		var ms float64
+		for _, t := range seq {
+			p := proc[t]
+			st := ready[p]
+			for _, pr := range g.Pred(t) {
+				arr := finish[pr] + m.MeanComm(pr, t, proc[pr], p)
+				if arr > st {
+					st = arr
+				}
+			}
+			start[t] = st
+			finish[t] = st + m.MeanETC[t][p]
+			ready[p] = finish[t]
+			if finish[t] > ms {
+				ms = finish[t]
+			}
+		}
+		return ms
+	}
+
+	for _, group := range groups {
+		// Phase 1: initial MCT assignment in rank order.
+		for _, t := range group {
+			seq = append(seq, t)
+			bestProc, bestFinish := -1, 0.0
+			for p := 0; p < nProc; p++ {
+				proc[t] = p
+				recompute()
+				if bestProc < 0 || finish[t] < bestFinish {
+					bestProc, bestFinish = p, finish[t]
+				}
+			}
+			proc[t] = bestProc
+			recompute()
+		}
+		if len(group) < 2 || nProc < 2 {
+			continue
+		}
+		// Phase 2: BMCT rebalancing — move the group's last-finishing
+		// task while the group completion time improves.
+		groupFinish := func() (dag.Task, float64) {
+			var worst dag.Task = -1
+			var ms float64
+			for _, t := range group {
+				if finish[t] > ms {
+					ms, worst = finish[t], t
+				}
+			}
+			return worst, ms
+		}
+		maxMoves := 2 * len(group)
+		for move := 0; move < maxMoves; move++ {
+			worst, cur := groupFinish()
+			bestProc := proc[worst]
+			bestMs := cur
+			orig := proc[worst]
+			for p := 0; p < nProc; p++ {
+				if p == orig {
+					continue
+				}
+				proc[worst] = p
+				recompute()
+				if _, ms := groupFinish(); ms < bestMs-1e-12 {
+					bestMs, bestProc = ms, p
+				}
+			}
+			proc[worst] = bestProc
+			recompute()
+			if bestProc == orig {
+				break
+			}
+		}
+	}
+
+	ms := recompute()
+	s := buildFromPlacement(n, nProc, proc, start)
+	return Result{Schedule: s, Makespan: ms}, nil
+}
+
+// reachability computes ancestor/descendant closure as bitsets:
+// reach[i] has bit j set when there is a path i → j.
+func reachability(g *dag.Graph) [][]uint64 {
+	n := g.N()
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return reach
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		for _, s := range g.Succ(t) {
+			reach[t][int(s)/64] |= 1 << (uint(s) % 64)
+			for w := 0; w < words; w++ {
+				reach[t][w] |= reach[s][w]
+			}
+		}
+	}
+	return reach
+}
+
+// connected reports whether a and b are related by a path in either
+// direction.
+func connected(reach [][]uint64, a, b dag.Task) bool {
+	if reach[a][int(b)/64]&(1<<(uint(b)%64)) != 0 {
+		return true
+	}
+	return reach[b][int(a)/64]&(1<<(uint(a)%64)) != 0
+}
+
+// independentGroups splits a rank-ordered task list into maximal
+// consecutive groups of pairwise independent tasks.
+func independentGroups(order []dag.Task, reach [][]uint64) [][]dag.Task {
+	var groups [][]dag.Task
+	var cur []dag.Task
+	for _, t := range order {
+		dependent := false
+		for _, u := range cur {
+			if connected(reach, t, u) {
+				dependent = true
+				break
+			}
+		}
+		if dependent {
+			groups = append(groups, cur)
+			cur = nil
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// ByName returns the heuristic with the given name ("heft", "bil",
+// "hbmct", "cpop", "sdheft"), or nil.
+func ByName(name string) func(*platform.Scenario) (Result, error) {
+	switch name {
+	case "heft", "HEFT":
+		return HEFT
+	case "bil", "BIL":
+		return BIL
+	case "hbmct", "HBMCT", "hyb.bmct", "Hyb.BMCT":
+		return HBMCT
+	case "cpop", "CPOP":
+		return CPOP
+	case "sdheft", "SDHEFT":
+		return func(s *platform.Scenario) (Result, error) { return SDHEFT(s, 1) }
+	default:
+		return nil
+	}
+}
+
+// All returns the three heuristics of the paper in presentation order.
+func All() []struct {
+	Name string
+	Fn   func(*platform.Scenario) (Result, error)
+} {
+	return []struct {
+		Name string
+		Fn   func(*platform.Scenario) (Result, error)
+	}{
+		{"BIL", BIL},
+		{"HEFT", HEFT},
+		{"HBMCT", HBMCT},
+	}
+}

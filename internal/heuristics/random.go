@@ -1,0 +1,51 @@
+package heuristics
+
+import (
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+// RandomSchedule generates one random eager schedule by the paper's
+// three-phase process (§V): repeatedly (1) choose a ready task uniformly
+// at random, (2) assign it to a uniformly random processor, (3) update
+// the ready list. The resulting per-processor orders are
+// precedence-compatible by construction.
+func RandomSchedule(scen *platform.Scenario, rng *rand.Rand) *schedule.Schedule {
+	g := scen.G
+	n := g.N()
+	s := schedule.New(n, scen.P.M)
+	indeg := make([]int, n)
+	ready := make([]dag.Task, 0, n)
+	for t := 0; t < n; t++ {
+		indeg[t] = len(g.Pred(dag.Task(t)))
+		if indeg[t] == 0 {
+			ready = append(ready, dag.Task(t))
+		}
+	}
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		t := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		s.Assign(t, rng.Intn(scen.P.M))
+		for _, succ := range g.Succ(t) {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				ready = append(ready, succ)
+			}
+		}
+	}
+	return s
+}
+
+// RandomSchedules generates count independent random schedules.
+func RandomSchedules(scen *platform.Scenario, count int, rng *rand.Rand) []*schedule.Schedule {
+	out := make([]*schedule.Schedule, count)
+	for i := range out {
+		out[i] = RandomSchedule(scen, rng)
+	}
+	return out
+}

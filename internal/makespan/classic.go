@@ -1,0 +1,158 @@
+// Package makespan evaluates the makespan distribution of an eager
+// schedule, implementing the three methods discussed in §II/§V of the
+// paper: the classical algorithm (numeric densities under the
+// independence assumption — the method the paper's results were
+// produced with), Dodin's series-parallel reduction, and Spelde's
+// central-limit approximation (realized with Clark's moment formulas
+// for the maximum of normals). The Monte-Carlo ground truth lives in
+// the schedule package; this package wraps it for convenience.
+package makespan
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/stochastic"
+)
+
+// Method selects a makespan-distribution evaluation algorithm.
+type Method int
+
+const (
+	// Classic propagates numeric densities through the disjunctive
+	// graph, convolving along series arcs and multiplying CDFs at
+	// joins, assuming every intermediate distribution independent.
+	Classic Method = iota
+	// Dodin reduces the expanded RV graph by series/parallel rules,
+	// duplicating shared sub-structures when the graph is not
+	// series-parallel.
+	Dodin
+	// Spelde reduces every random variable to (µ, σ) and propagates
+	// moments only (normal algebra, Clark's max).
+	Spelde
+)
+
+func (m Method) String() string {
+	switch m {
+	case Classic:
+		return "classic"
+	case Dodin:
+		return "dodin"
+	case Spelde:
+		return "spelde"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// evalContext precomputes everything the evaluators share: the
+// disjunctive topological order and per-arc minimum communication
+// times.
+type evalContext struct {
+	scen  *platform.Scenario
+	sched *schedule.Schedule
+	dg    *dag.Graph
+	order []dag.Task
+}
+
+func newEvalContext(scen *platform.Scenario, s *schedule.Schedule) (*evalContext, error) {
+	if err := s.Validate(scen.G); err != nil {
+		return nil, err
+	}
+	dg, err := s.Disjunctive(scen.G)
+	if err != nil {
+		return nil, err
+	}
+	order, err := dg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &evalContext{scen: scen, sched: s, dg: dg, order: order}, nil
+}
+
+// minComm returns the minimum communication time along disjunctive arc
+// p→t (0 for co-located tasks and for pure sequencing arcs).
+func (c *evalContext) minComm(p, t dag.Task) float64 {
+	return c.scen.P.MinCommTime(c.dg.Volume(p, t), c.sched.Proc[p], c.sched.Proc[t])
+}
+
+// durRV returns the numeric duration variable of task t on its
+// assigned processor.
+func (c *evalContext) durRV(t dag.Task, gridSize int) *stochastic.Numeric {
+	return stochastic.FromDist(c.scen.TaskDist(t, c.sched.Proc[t]), gridSize)
+}
+
+// commRV returns the numeric communication variable of arc p→t.
+func (c *evalContext) commRV(p, t dag.Task, gridSize int) *stochastic.Numeric {
+	if c.minComm(p, t) <= 0 {
+		return stochastic.NewPoint(0)
+	}
+	return stochastic.FromDist(c.scen.CommDist(p, t, c.sched.Proc[p], c.sched.Proc[t]), gridSize)
+}
+
+// Evaluate computes the makespan distribution of schedule s under
+// scenario scen with the chosen method. gridSize <= 0 selects the
+// paper's 64-point densities.
+func Evaluate(scen *platform.Scenario, s *schedule.Schedule, m Method, gridSize int) (*stochastic.Numeric, error) {
+	switch m {
+	case Classic:
+		return EvaluateClassic(scen, s, gridSize)
+	case Dodin:
+		return EvaluateDodin(scen, s, gridSize)
+	case Spelde:
+		res, err := EvaluateSpelde(scen, s)
+		if err != nil {
+			return nil, err
+		}
+		return res.RV(gridSize), nil
+	default:
+		return nil, fmt.Errorf("makespan: unknown method %v", m)
+	}
+}
+
+// EvaluateClassic runs the classical algorithm: in disjunctive
+// topological order, each task's completion distribution is the
+// maximum (CDF product) over its predecessors' completion-plus-
+// communication distributions (convolutions), plus its own duration.
+// All intermediate variables are treated as independent — exact for
+// in-trees, an approximation otherwise (§II).
+func EvaluateClassic(scen *platform.Scenario, s *schedule.Schedule, gridSize int) (*stochastic.Numeric, error) {
+	ctx, err := newEvalContext(scen, s)
+	if err != nil {
+		return nil, err
+	}
+	if gridSize <= 0 {
+		gridSize = stochastic.DefaultGridSize
+	}
+	n := scen.G.N()
+	completion := make([]*stochastic.Numeric, n)
+	for _, t := range ctx.order {
+		start := stochastic.NewPoint(0)
+		for _, p := range ctx.dg.Pred(t) {
+			arrival := completion[p]
+			if min := ctx.minComm(p, t); min > 0 {
+				arrival = arrival.Add(ctx.commRV(p, t, gridSize), gridSize)
+			}
+			start = start.MaxWith(arrival, gridSize)
+		}
+		completion[t] = start.Add(ctx.durRV(t, gridSize), gridSize)
+	}
+	makespan := stochastic.NewPoint(0)
+	for _, t := range ctx.dg.Sinks() {
+		makespan = makespan.MaxWith(completion[t], gridSize)
+	}
+	return makespan, nil
+}
+
+// MonteCarlo draws count realizations of the schedule and returns the
+// empirical makespan distribution (the paper's ground truth with
+// count = 100 000).
+func MonteCarlo(scen *platform.Scenario, s *schedule.Schedule, count int, seed int64) (*stochastic.Empirical, error) {
+	sim, err := schedule.NewSimulator(scen, s)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Empirical(count, seed), nil
+}

@@ -1,0 +1,105 @@
+package makespan
+
+import (
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/stochastic"
+)
+
+// SpeldeResult is the makespan summary produced by Spelde's method:
+// every random variable is reduced to its mean and standard deviation
+// and only those two moments are propagated (no convolutions).
+type SpeldeResult struct {
+	Mean, Std float64
+}
+
+// RV materializes the result as a normal numeric variable (the CLT
+// justification of the method), suitable wherever a full distribution
+// is expected.
+func (r SpeldeResult) RV(gridSize int) *stochastic.Numeric {
+	if r.Std <= 0 {
+		return stochastic.NewPoint(r.Mean)
+	}
+	return stochastic.FromDist(stochastic.Normal{Mu: r.Mean, Sigma: r.Std}, gridSize)
+}
+
+// moments extracts the first two moments of a distribution.
+func moments(d stochastic.Dist) (mu, variance float64) {
+	return d.Mean(), d.Variance()
+}
+
+// clarkMax returns the first two moments of max(X, Y) for independent
+// normals X ~ (mu1, var1) and Y ~ (mu2, var2), by Clark's (1961)
+// formulas.
+func clarkMax(mu1, var1, mu2, var2 float64) (mu, variance float64) {
+	a2 := var1 + var2
+	if a2 <= 0 {
+		// Both degenerate.
+		if mu1 >= mu2 {
+			return mu1, 0
+		}
+		return mu2, 0
+	}
+	a := math.Sqrt(a2)
+	alpha := (mu1 - mu2) / a
+	phi := math.Exp(-alpha*alpha/2) / math.Sqrt(2*math.Pi)
+	Phi := 0.5 * (1 + math.Erf(alpha/math.Sqrt2))
+	mu = mu1*Phi + mu2*(1-Phi) + a*phi
+	second := (mu1*mu1+var1)*Phi + (mu2*mu2+var2)*(1-Phi) + (mu1+mu2)*a*phi
+	variance = second - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	return mu, variance
+}
+
+// EvaluateSpelde propagates (µ, σ²) through the disjunctive graph:
+// sums add moments, maxima use Clark's normal approximation. This is
+// the fast method of Ludwig, Möhring & Stork's study that the paper
+// evaluates.
+func EvaluateSpelde(scen *platform.Scenario, s *schedule.Schedule) (SpeldeResult, error) {
+	ctx, err := newEvalContext(scen, s)
+	if err != nil {
+		return SpeldeResult{}, err
+	}
+	n := scen.G.N()
+	mu := make([]float64, n)
+	variance := make([]float64, n)
+	for _, t := range ctx.order {
+		var sMu, sVar float64
+		first := true
+		for _, p := range ctx.dg.Pred(t) {
+			aMu, aVar := mu[p], variance[p]
+			if ctx.minComm(p, t) > 0 {
+				cMu, cVar := moments(scen.CommDist(p, t, s.Proc[p], s.Proc[t]))
+				aMu += cMu
+				aVar += cVar
+			}
+			if first {
+				sMu, sVar = aMu, aVar
+				first = false
+			} else {
+				sMu, sVar = clarkMax(sMu, sVar, aMu, aVar)
+			}
+		}
+		if first {
+			sMu, sVar = 0, 0 // entry task starts at time 0
+		}
+		dMu, dVar := moments(scen.TaskDist(t, s.Proc[t]))
+		mu[t] = sMu + dMu
+		variance[t] = sVar + dVar
+	}
+	var outMu, outVar float64
+	firstSink := true
+	for _, t := range ctx.dg.Sinks() {
+		if firstSink {
+			outMu, outVar = mu[t], variance[t]
+			firstSink = false
+		} else {
+			outMu, outVar = clarkMax(outMu, outVar, mu[t], variance[t])
+		}
+	}
+	return SpeldeResult{Mean: outMu, Std: math.Sqrt(outVar)}, nil
+}

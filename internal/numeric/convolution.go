@@ -1,0 +1,121 @@
+package numeric
+
+// ConvolveDirect computes the full linear convolution of a and b by the
+// naive O(len(a)·len(b)) algorithm. The result has length
+// len(a)+len(b)-1. It is exact up to floating-point rounding and is the
+// reference implementation for the FFT-based variants.
+func ConvolveDirect(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// ConvolveFFT computes the full linear convolution of a and b using a
+// single zero-padded FFT of size NextPow2(len(a)+len(b)-1).
+func ConvolveFFT(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPow2(outLen)
+	are := make([]float64, n)
+	aim := make([]float64, n)
+	bre := make([]float64, n)
+	bim := make([]float64, n)
+	copy(are, a)
+	copy(bre, b)
+	// Errors are impossible here: lengths are equal powers of two.
+	_ = FFT(are, aim, false)
+	_ = FFT(bre, bim, false)
+	for i := 0; i < n; i++ {
+		re := are[i]*bre[i] - aim[i]*bim[i]
+		im := are[i]*bim[i] + aim[i]*bre[i]
+		are[i], aim[i] = re, im
+	}
+	_ = FFT(are, aim, true)
+	return are[:outLen]
+}
+
+// ConvolveOverlapAdd computes the full linear convolution of signal with
+// kernel using the overlap-add method: the signal is cut into blocks,
+// each block is convolved with the kernel by FFT, and the partial results
+// are summed with the proper offsets. This is the optimization the paper
+// names for convolving long densities with short kernels.
+//
+// blockSize controls the signal block length; values <= 0 select a block
+// size automatically (4x the kernel length, rounded to a power of two).
+func ConvolveOverlapAdd(signal, kernel []float64, blockSize int) []float64 {
+	if len(signal) == 0 || len(kernel) == 0 {
+		return nil
+	}
+	if len(kernel) > len(signal) {
+		signal, kernel = kernel, signal
+	}
+	if blockSize <= 0 {
+		blockSize = NextPow2(4 * len(kernel))
+	}
+	if blockSize < len(kernel) {
+		blockSize = NextPow2(len(kernel))
+	}
+	outLen := len(signal) + len(kernel) - 1
+	out := make([]float64, outLen)
+	fftLen := NextPow2(blockSize + len(kernel) - 1)
+
+	// Pre-transform the kernel once.
+	kre := make([]float64, fftLen)
+	kim := make([]float64, fftLen)
+	copy(kre, kernel)
+	_ = FFT(kre, kim, false)
+
+	bre := make([]float64, fftLen)
+	bim := make([]float64, fftLen)
+	for start := 0; start < len(signal); start += blockSize {
+		end := start + blockSize
+		if end > len(signal) {
+			end = len(signal)
+		}
+		for i := range bre {
+			bre[i], bim[i] = 0, 0
+		}
+		copy(bre, signal[start:end])
+		_ = FFT(bre, bim, false)
+		for i := 0; i < fftLen; i++ {
+			re := bre[i]*kre[i] - bim[i]*kim[i]
+			im := bre[i]*kim[i] + bim[i]*kre[i]
+			bre[i], bim[i] = re, im
+		}
+		_ = FFT(bre, bim, true)
+		segLen := end - start + len(kernel) - 1
+		for i := 0; i < segLen && start+i < outLen; i++ {
+			out[start+i] += bre[i]
+		}
+	}
+	return out
+}
+
+// Convolve picks a convolution strategy based on operand sizes: direct
+// for small products, overlap-add when one operand is much shorter than
+// the other, plain FFT otherwise.
+func Convolve(a, b []float64) []float64 {
+	la, lb := len(a), len(b)
+	switch {
+	case la == 0 || lb == 0:
+		return nil
+	case la*lb <= 4096:
+		return ConvolveDirect(a, b)
+	case la >= 8*lb || lb >= 8*la:
+		return ConvolveOverlapAdd(a, b, 0)
+	default:
+		return ConvolveFFT(a, b)
+	}
+}

@@ -1,0 +1,80 @@
+// Package numeric provides the numerical-analysis substrate the original
+// study obtained from the GSL: FFT, convolution (direct, FFT-based and
+// overlap-add), composite Simpson integration, natural cubic splines,
+// smoothing and a handful of summation/statistics helpers.
+//
+// Everything operates on float64 slices; no external dependencies.
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of the complex sequence held in re and im. len(re) must equal
+// len(im) and be a power of two. If inverse is true the inverse transform
+// is computed (including the 1/n scaling).
+func FFT(re, im []float64, inverse bool) error {
+	n := len(re)
+	if len(im) != n {
+		return fmt.Errorf("numeric: FFT length mismatch %d != %d", n, len(im))
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("numeric: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j], im[j] = re[i]-tRe, im[i]-tIm
+				re[i], im[i] = re[i]+tRe, im[i]+tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range re {
+			re[i] *= inv
+			im[i] *= inv
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package numeric
+
+import "fmt"
+
+// Spline is a natural cubic spline through a set of strictly increasing
+// knots. It reproduces the cubic-spline interpolation the paper uses to
+// resample 64-point densities.
+type Spline struct {
+	x, y       []float64
+	m          []float64 // second derivatives at the knots
+	extrapZero bool
+}
+
+// NewSpline builds a natural cubic spline through (x[i], y[i]). x must be
+// strictly increasing and have at least 2 points.
+func NewSpline(x, y []float64) (*Spline, error) {
+	n := len(x)
+	if n != len(y) {
+		return nil, fmt.Errorf("numeric: spline needs len(x)==len(y), got %d and %d", n, len(y))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("numeric: spline needs at least 2 points, got %d", n)
+	}
+	for i := 1; i < n; i++ {
+		if x[i] <= x[i-1] {
+			return nil, fmt.Errorf("numeric: spline knots must be strictly increasing at index %d", i)
+		}
+	}
+	s := &Spline{
+		x: append([]float64(nil), x...),
+		y: append([]float64(nil), y...),
+		m: make([]float64, n),
+	}
+	if n == 2 {
+		return s, nil // linear segment; second derivatives stay zero
+	}
+	// Solve the tridiagonal system for natural boundary conditions
+	// (m[0] = m[n-1] = 0) with the Thomas algorithm.
+	a := make([]float64, n) // sub-diagonal
+	b := make([]float64, n) // diagonal
+	c := make([]float64, n) // super-diagonal
+	d := make([]float64, n) // rhs
+	b[0], b[n-1] = 1, 1
+	for i := 1; i < n-1; i++ {
+		hi := x[i] - x[i-1]
+		hi1 := x[i+1] - x[i]
+		a[i] = hi
+		b[i] = 2 * (hi + hi1)
+		c[i] = hi1
+		d[i] = 6 * ((y[i+1]-y[i])/hi1 - (y[i]-y[i-1])/hi)
+	}
+	for i := 1; i < n; i++ {
+		w := a[i] / b[i-1]
+		b[i] -= w * c[i-1]
+		d[i] -= w * d[i-1]
+	}
+	s.m[n-1] = d[n-1] / b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		s.m[i] = (d[i] - c[i]*s.m[i+1]) / b[i]
+	}
+	return s, nil
+}
+
+// SetExtrapolateZero makes out-of-range evaluations return 0 instead of
+// clamping to the boundary value. Useful for probability densities whose
+// support is exactly the knot range.
+func (s *Spline) SetExtrapolateZero(zero bool) { s.extrapZero = zero }
+
+// At evaluates the spline at t. Outside the knot range the value is
+// either the nearest boundary value or 0, depending on
+// SetExtrapolateZero.
+func (s *Spline) At(t float64) float64 {
+	n := len(s.x)
+	if t <= s.x[0] {
+		if t == s.x[0] {
+			return s.y[0]
+		}
+		if s.extrapZero {
+			return 0
+		}
+		return s.y[0]
+	}
+	if t >= s.x[n-1] {
+		if t == s.x[n-1] {
+			return s.y[n-1]
+		}
+		if s.extrapZero {
+			return 0
+		}
+		return s.y[n-1]
+	}
+	// Binary search for the segment containing t.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.x[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	h := s.x[hi] - s.x[lo]
+	A := (s.x[hi] - t) / h
+	B := (t - s.x[lo]) / h
+	return A*s.y[lo] + B*s.y[hi] +
+		((A*A*A-A)*s.m[lo]+(B*B*B-B)*s.m[hi])*h*h/6
+}
+
+// Resample evaluates the spline on a uniform grid of n points spanning
+// [lo, hi] inclusive.
+func (s *Spline) Resample(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = s.At(lo)
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = s.At(lo + float64(i)*step)
+	}
+	return out
+}

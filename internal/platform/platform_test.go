@@ -1,0 +1,226 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/stochastic"
+)
+
+func testPlatform(n, m int, seed int64) *Platform {
+	rng := rand.New(rand.NewSource(seed))
+	tau, lat := NewUniformNetwork(m, 1, 0)
+	return &Platform{
+		M:   m,
+		ETC: GenerateETC(n, m, ETCParams{MuTask: 20, VTask: 0.5, VMach: 0.5}, rng),
+		Tau: tau,
+		Lat: lat,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := testPlatform(10, 3, 1)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Tau[1][1] = 5
+	if err := p.Validate(); err == nil {
+		t.Error("accepted non-zero tau diagonal")
+	}
+	p.Tau[1][1] = 0
+	p.ETC[0][0] = -1
+	if err := p.Validate(); err == nil {
+		t.Error("accepted negative ETC")
+	}
+	bad := &Platform{M: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted M=0")
+	}
+}
+
+func TestMinCommTime(t *testing.T) {
+	p := testPlatform(4, 3, 2)
+	p.Lat[0][1] = 2
+	p.Tau[0][1] = 0.5
+	if got := p.MinCommTime(10, 0, 1); got != 7 {
+		t.Errorf("comm time = %g, want 7", got)
+	}
+	if p.MinCommTime(10, 1, 1) != 0 {
+		t.Error("co-located comm must be free")
+	}
+}
+
+func TestAverages(t *testing.T) {
+	p := &Platform{
+		M:   2,
+		ETC: [][]float64{{2, 4}, {6, 8}},
+		Tau: [][]float64{{0, 3}, {5, 0}},
+		Lat: [][]float64{{0, 1}, {1, 0}},
+	}
+	if got := p.AvgETC(0); got != 3 {
+		t.Errorf("AvgETC(0) = %g, want 3", got)
+	}
+	if got := p.AvgETC(1); got != 7 {
+		t.Errorf("AvgETC(1) = %g, want 7", got)
+	}
+	if got := p.AvgTau(); got != 4 {
+		t.Errorf("AvgTau = %g, want 4", got)
+	}
+	if got := p.AvgLat(); got != 1 {
+		t.Errorf("AvgLat = %g, want 1", got)
+	}
+	single := &Platform{M: 1, Tau: [][]float64{{0}}, Lat: [][]float64{{0}}}
+	if single.AvgTau() != 0 || single.AvgLat() != 0 {
+		t.Error("single-machine averages must be 0")
+	}
+}
+
+func TestGenerateETCStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, m := 3000, 4
+	etc := GenerateETC(n, m, ETCParams{MuTask: 20, VTask: 0.5, VMach: 0.5}, rng)
+	var all []float64
+	for i := 0; i < n; i++ {
+		if len(etc[i]) != m {
+			t.Fatalf("row %d has %d cols", i, len(etc[i]))
+		}
+		for _, v := range etc[i] {
+			if v <= 0 {
+				t.Fatalf("non-positive ETC %g", v)
+			}
+			all = append(all, v)
+		}
+	}
+	var sum float64
+	for _, v := range all {
+		sum += v
+	}
+	mean := sum / float64(len(all))
+	if mean < 18 || mean > 22 {
+		t.Errorf("ETC grand mean = %g, want ~20", mean)
+	}
+	// The CV method gives overall CV ≈ sqrt(Vt² + Vm² + Vt²Vm²) ≈ 0.75.
+	var ss float64
+	for _, v := range all {
+		d := v - mean
+		ss += d * d
+	}
+	cv := math.Sqrt(ss/float64(len(all))) / mean
+	if cv < 0.6 || cv > 0.9 {
+		t.Errorf("ETC CV = %g, want ~0.75", cv)
+	}
+}
+
+func TestGenerateETCUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	etc := GenerateETCUniform(500, 3, 10, 20, rng)
+	for i, row := range etc {
+		lo := math.Inf(1)
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+		}
+		for _, v := range row {
+			// Every value must lie in [minVal, 2·minVal] for SOME minVal in
+			// [10,20]; at minimum, all values within [10, 40] and within 2x
+			// of the row minimum.
+			if v < 10 || v > 40 {
+				t.Fatalf("row %d value %g outside [10,40]", i, v)
+			}
+			if v > 2*lo+1e-9 {
+				t.Fatalf("row %d value %g exceeds 2×row-min %g", i, v, lo)
+			}
+		}
+	}
+}
+
+func TestGenerateETCFromWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	weights := []float64{10, 100}
+	etc := GenerateETCFromWeights(weights, 200, 0.3, rng)
+	m0 := 0.0
+	m1 := 0.0
+	for _, v := range etc[0] {
+		m0 += v
+	}
+	for _, v := range etc[1] {
+		m1 += v
+	}
+	m0 /= 200
+	m1 /= 200
+	if math.Abs(m0-10) > 1.5 {
+		t.Errorf("row 0 mean = %g, want ~10", m0)
+	}
+	if math.Abs(m1-100) > 15 {
+		t.Errorf("row 1 mean = %g, want ~100", m1)
+	}
+}
+
+func TestMeanFromMin(t *testing.T) {
+	if MeanFromMin(10, 1) != 10 {
+		t.Error("UL=1 must be deterministic")
+	}
+	// UL=1.1: mean = 10·(1 + 0.1·2/7).
+	want := 10 * (1 + 0.1*2.0/7.0)
+	if got := MeanFromMin(10, 1.1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanFromMin = %g, want %g", got, want)
+	}
+}
+
+func TestScenarioDists(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graphgen.Chain(3, 5)
+	tau, lat := NewUniformNetwork(2, 1, 0)
+	p := &Platform{M: 2, ETC: GenerateETCUniform(3, 2, 10, 20, rng), Tau: tau, Lat: lat}
+	s := &Scenario{G: g, P: p, UL: 1.1}
+
+	d := s.TaskDist(0, 1)
+	b, ok := d.(stochastic.Beta)
+	if !ok {
+		t.Fatalf("task dist is %T, want Beta", d)
+	}
+	if b.Lo != p.ETC[0][1] || math.Abs(b.Hi-1.1*p.ETC[0][1]) > 1e-9 {
+		t.Errorf("task dist support [%g,%g], want [%g,%g]", b.Lo, b.Hi, p.ETC[0][1], 1.1*p.ETC[0][1])
+	}
+
+	// Co-located communication is free.
+	cd := s.CommDist(0, 1, 1, 1)
+	if dd, ok := cd.(stochastic.Dirac); !ok || dd.Value != 0 {
+		t.Errorf("co-located comm = %#v, want Dirac(0)", cd)
+	}
+	// Cross-processor communication: Beta over [5, 5.5] (vol 5 × τ 1).
+	cd = s.CommDist(0, 1, 0, 1)
+	cb, ok := cd.(stochastic.Beta)
+	if !ok {
+		t.Fatalf("comm dist is %T, want Beta", cd)
+	}
+	if cb.Lo != 5 || math.Abs(cb.Hi-5.5) > 1e-9 {
+		t.Errorf("comm support [%g,%g], want [5,5.5]", cb.Lo, cb.Hi)
+	}
+
+	// Deterministic scenario degrades to Dirac.
+	sDet := &Scenario{G: g, P: p, UL: 1}
+	if _, ok := sDet.TaskDist(0, 0).(stochastic.Dirac); !ok {
+		t.Error("UL=1 task dist should be Dirac")
+	}
+
+	// Samples stay within the Beta support.
+	for i := 0; i < 1000; i++ {
+		v := s.SampleTask(0, 1, rng)
+		if v < b.Lo || v > b.Hi {
+			t.Fatalf("sample %g outside [%g,%g]", v, b.Lo, b.Hi)
+		}
+	}
+	if s.SampleComm(0, 1, 1, 1, rng) != 0 {
+		t.Error("co-located comm sample must be 0")
+	}
+	if s.MeanComm(0, 1, 0, 1) <= 5 {
+		t.Error("cross-proc mean comm should exceed the minimum")
+	}
+	if s.MeanTask(0, 0) <= p.ETC[0][0] {
+		t.Error("mean task duration should exceed the minimum under UL>1")
+	}
+}

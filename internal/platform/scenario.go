@@ -1,0 +1,182 @@
+package platform
+
+import (
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/stochastic"
+)
+
+// Scenario bundles a task graph, a platform and an uncertainty level
+// into the paper's stochastic scheduling problem: every ETC entry and
+// every communication time is the minimum of a Beta(2,5) random
+// variable stretched over [min, min·UL].
+//
+// Two extensions from the paper's future-work list (§VIII) are
+// supported:
+//
+//   - TaskUL gives each task its own uncertainty level (a non-constant
+//     UL breaks the proportionality between duration means and standard
+//     deviations, which the paper conjectures degrades the makespan as a
+//     robustness proxy);
+//   - DurFn swaps the Beta(2,5) duration family for any other
+//     distribution over [min, min·ul] (e.g. oscillating non-standard
+//     densities).
+type Scenario struct {
+	G  *dag.Graph
+	P  *Platform
+	UL float64 // uncertainty level, >= 1 (1 = deterministic)
+
+	// TaskUL optionally overrides UL per task (length must be G.N()
+	// when non-nil). Communication times keep the global UL.
+	TaskUL []float64
+
+	// ProcUL optionally overrides the uncertainty level per processor
+	// (length P.M when non-nil); it takes precedence over TaskUL and
+	// UL for task durations. It models platforms where some machines
+	// are time-shared/noisy and others dedicated/stable.
+	ProcUL []float64
+
+	// DurFn optionally builds the duration distribution for a minimum
+	// value and an uncertainty level. nil selects the paper's
+	// Beta(2,5) over [min, min·ul].
+	DurFn func(min, ul float64) stochastic.Dist
+}
+
+// BetaMeanFactor is E[Beta(2,5)] on [0,1]: under the default model the
+// mean duration is min·(1 + (UL-1)·BetaMeanFactor).
+const BetaMeanFactor = 2.0 / 7.0
+
+// MeanFromMin converts a minimum duration into its mean under the
+// default Beta(2,5) uncertainty model with level ul.
+func MeanFromMin(min, ul float64) float64 {
+	if ul <= 1 {
+		return min
+	}
+	return min * (1 + (ul-1)*BetaMeanFactor)
+}
+
+// ULFor returns the uncertainty level of task t (ignoring any
+// per-processor override).
+func (s *Scenario) ULFor(t dag.Task) float64 {
+	if s.TaskUL != nil && int(t) < len(s.TaskUL) {
+		return s.TaskUL[t]
+	}
+	return s.UL
+}
+
+// ULAt returns the uncertainty level of task t when it runs on
+// processor proc: the per-processor override when set, otherwise the
+// per-task/global level.
+func (s *Scenario) ULAt(t dag.Task, proc int) float64 {
+	if s.ProcUL != nil && proc < len(s.ProcUL) {
+		return s.ProcUL[proc]
+	}
+	return s.ULFor(t)
+}
+
+// durDist builds a duration distribution for the given minimum and
+// uncertainty level using the configured family.
+func (s *Scenario) durDist(min, ul float64) stochastic.Dist {
+	if ul <= 1 || min <= 0 {
+		return stochastic.Dirac{Value: min}
+	}
+	if s.DurFn != nil {
+		return s.DurFn(min, ul)
+	}
+	return stochastic.NewBetaUL(min, ul)
+}
+
+// DurationAt builds the scenario's duration distribution for an
+// arbitrary minimum value at the global UL (used by heuristics for
+// placement-agnostic estimates).
+func (s *Scenario) DurationAt(min float64) stochastic.Dist {
+	return s.durDist(min, s.UL)
+}
+
+// TaskDist returns the duration distribution of task t on processor
+// proc.
+func (s *Scenario) TaskDist(t dag.Task, proc int) stochastic.Dist {
+	return s.durDist(s.P.ETC[t][proc], s.ULAt(t, proc))
+}
+
+// CommDist returns the distribution of the communication time of edge
+// from→to when the endpoints run on pi and pj. Co-located tasks
+// communicate in zero time (Dirac at 0).
+func (s *Scenario) CommDist(from, to dag.Task, pi, pj int) stochastic.Dist {
+	min := s.P.MinCommTime(s.G.Volume(from, to), pi, pj)
+	return s.durDist(min, s.UL)
+}
+
+// MeanTask returns the mean duration of task t on processor proc.
+func (s *Scenario) MeanTask(t dag.Task, proc int) float64 {
+	return s.TaskDist(t, proc).Mean()
+}
+
+// MeanComm returns the mean communication time of edge from→to between
+// processors pi and pj.
+func (s *Scenario) MeanComm(from, to dag.Task, pi, pj int) float64 {
+	return s.CommDist(from, to, pi, pj).Mean()
+}
+
+// SampleTask draws a realization of task t's duration on processor
+// proc.
+func (s *Scenario) SampleTask(t dag.Task, proc int, rng *rand.Rand) float64 {
+	return s.TaskDist(t, proc).Sample(rng)
+}
+
+// SampleComm draws a realization of the communication time of edge
+// from→to between pi and pj.
+func (s *Scenario) SampleComm(from, to dag.Task, pi, pj int, rng *rand.Rand) float64 {
+	return s.CommDist(from, to, pi, pj).Sample(rng)
+}
+
+// WithVariableUL returns a copy of the scenario whose tasks draw their
+// uncertainty levels uniformly from [ulLo, ulHi] (the paper's §VIII
+// variable-UL future work). The graph and platform are shared.
+func (s *Scenario) WithVariableUL(ulLo, ulHi float64, rng *rand.Rand) *Scenario {
+	c := *s
+	uls := make([]float64, s.G.N())
+	for i := range uls {
+		uls[i] = ulLo + rng.Float64()*(ulHi-ulLo)
+	}
+	c.TaskUL = uls
+	return &c
+}
+
+// WithNoisyProcessors returns a copy of the scenario where
+// even-numbered processors are stable (UL = stableUL) and odd-numbered
+// ones noisy (UL = noisyUL), with the noisy processors' ETC columns
+// rescaled so that every task's MEAN duration is identical on a stable
+// and on a noisy processor. In this setting a mean-based heuristic is
+// blind to the noise while a σ-aware one (SDHEFT) can trade placement
+// for robustness — the paper's §VIII proposal in its purest form.
+func (s *Scenario) WithNoisyProcessors(stableUL, noisyUL float64) *Scenario {
+	c := *s
+	// Mean scale factor of the duration family per unit of minimum.
+	factor := func(ul float64) float64 { return s.durDist(1, ul).Mean() }
+	fs, fn := factor(stableUL), factor(noisyUL)
+	etc := make([][]float64, len(s.P.ETC))
+	for i, row := range s.P.ETC {
+		r := append([]float64(nil), row...)
+		for p := range r {
+			if p%2 == 1 && fn > 0 {
+				r[p] = r[p] * fs / fn // equalize means with the stable columns
+			}
+		}
+		etc[i] = r
+	}
+	pc := *s.P
+	pc.ETC = etc
+	c.P = &pc
+	uls := make([]float64, s.P.M)
+	for p := range uls {
+		if p%2 == 1 {
+			uls[p] = noisyUL
+		} else {
+			uls[p] = stableUL
+		}
+	}
+	c.ProcUL = uls
+	return &c
+}

@@ -1,0 +1,229 @@
+package schedule
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/stochastic"
+)
+
+// Timing is the outcome of executing a schedule with concrete
+// durations.
+type Timing struct {
+	Start, Finish []float64
+	Makespan      float64
+}
+
+// predInfo is a precedence arc seen from the consumer side, carrying
+// the communication-time distribution between the assigned processors.
+type predInfo struct {
+	pred dag.Task
+	comm stochastic.Dist // Dirac(0) for co-located tasks
+	mean float64
+	min  float64
+}
+
+// Simulator evaluates one schedule repeatedly: it freezes the
+// disjunctive topological order and the per-task / per-arc duration
+// distributions so that each realization is a single O(V+E) pass with
+// only the sampling as per-iteration work. This is the engine behind
+// the paper's 100 000-realization ground-truth distributions.
+type Simulator struct {
+	scen     *platform.Scenario
+	sched    *Schedule
+	order    []dag.Task
+	prevProc []dag.Task
+	dur      []stochastic.Dist
+	durMean  []float64
+	durMin   []float64
+	preds    [][]predInfo
+}
+
+// NewSimulator validates the schedule against the scenario's graph and
+// precomputes the realization machinery.
+func NewSimulator(scen *platform.Scenario, s *Schedule) (*Simulator, error) {
+	if err := s.Validate(scen.G); err != nil {
+		return nil, err
+	}
+	dg, err := s.Disjunctive(scen.G)
+	if err != nil {
+		return nil, err
+	}
+	order, err := dg.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	n := scen.G.N()
+	sim := &Simulator{
+		scen:     scen,
+		sched:    s,
+		order:    order,
+		prevProc: s.PrevOnProc(),
+		dur:      make([]stochastic.Dist, n),
+		durMean:  make([]float64, n),
+		durMin:   make([]float64, n),
+		preds:    make([][]predInfo, n),
+	}
+	for t := 0; t < n; t++ {
+		task := dag.Task(t)
+		d := scen.TaskDist(task, s.Proc[t])
+		sim.dur[t] = d
+		sim.durMean[t] = d.Mean()
+		sim.durMin[t], _ = d.Support()
+		for _, p := range scen.G.Pred(task) {
+			cd := scen.CommDist(p, task, s.Proc[p], s.Proc[t])
+			min, _ := cd.Support()
+			sim.preds[t] = append(sim.preds[t], predInfo{
+				pred: p, comm: cd, mean: cd.Mean(), min: min,
+			})
+		}
+	}
+	return sim, nil
+}
+
+// Schedule returns the schedule being simulated.
+func (sim *Simulator) Schedule() *Schedule { return sim.sched }
+
+// Scenario returns the underlying scenario.
+func (sim *Simulator) Scenario() *platform.Scenario { return sim.scen }
+
+// durationKind selects which value each duration takes during a
+// timing pass.
+type durationKind int
+
+const (
+	durMin durationKind = iota
+	durMean
+	durSample
+)
+
+// timing runs the eager execution once.
+func (sim *Simulator) timing(kind durationKind, rng *rand.Rand, buf []float64) Timing {
+	n := len(sim.dur)
+	var start []float64
+	if cap(buf) >= 2*n {
+		start = buf[:2*n]
+	} else {
+		start = make([]float64, 2*n)
+	}
+	finish := start[n:]
+	start = start[:n]
+	var makespan float64
+	for _, t := range sim.order {
+		st := 0.0
+		if p := sim.prevProc[t]; p >= 0 {
+			st = finish[p]
+		}
+		for i := range sim.preds[t] {
+			pi := &sim.preds[t][i]
+			var c float64
+			switch kind {
+			case durMin:
+				c = pi.min
+			case durMean:
+				c = pi.mean
+			default:
+				if _, isPoint := pi.comm.(stochastic.Dirac); isPoint {
+					c = pi.min
+				} else {
+					c = pi.comm.Sample(rng)
+				}
+			}
+			arr := finish[pi.pred] + c
+			if arr > st {
+				st = arr
+			}
+		}
+		var d float64
+		switch kind {
+		case durMin:
+			d = sim.durMin[t]
+		case durMean:
+			d = sim.durMean[t]
+		default:
+			if _, isPoint := sim.dur[t].(stochastic.Dirac); isPoint {
+				d = sim.durMin[t]
+			} else {
+				d = sim.dur[t].Sample(rng)
+			}
+		}
+		start[t] = st
+		finish[t] = st + d
+		if finish[t] > makespan {
+			makespan = finish[t]
+		}
+	}
+	return Timing{Start: start, Finish: finish, Makespan: makespan}
+}
+
+// MinTiming executes the schedule with every duration at its minimum
+// (the deterministic base case).
+func (sim *Simulator) MinTiming() Timing { return sim.timing(durMin, nil, nil) }
+
+// MeanTiming executes the schedule with every duration at its mean;
+// this is the approximation the paper uses for the slack metrics.
+func (sim *Simulator) MeanTiming() Timing { return sim.timing(durMean, nil, nil) }
+
+// Realize samples one realization of every duration and returns the
+// resulting makespan.
+func (sim *Simulator) Realize(rng *rand.Rand) float64 {
+	return sim.timing(durSample, rng, nil).Makespan
+}
+
+// RealizeTiming is Realize but returns the full start/finish vectors;
+// buf, when at least 2n long, avoids allocations.
+func (sim *Simulator) RealizeTiming(rng *rand.Rand, buf []float64) Timing {
+	return sim.timing(durSample, rng, buf)
+}
+
+// Realizations draws count makespan realizations, distributing the
+// work over GOMAXPROCS goroutines. Each worker derives its own RNG
+// stream from seed over a disjoint chunk, so results are deterministic
+// for a given (count, seed) pair regardless of scheduling.
+func (sim *Simulator) Realizations(count int, seed int64) []float64 {
+	out := make([]float64, count)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]float64, 2*len(sim.dur))
+		for i := range out {
+			out[i] = sim.timing(durSample, rng, buf).Makespan
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (count + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9))
+			buf := make([]float64, 2*len(sim.dur))
+			for i := lo; i < hi; i++ {
+				out[i] = sim.timing(durSample, rng, buf).Makespan
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// Empirical draws count realizations and wraps them as an empirical
+// distribution.
+func (sim *Simulator) Empirical(count int, seed int64) *stochastic.Empirical {
+	return stochastic.NewEmpirical(sim.Realizations(count, seed))
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CorrMatrix computes the K×K Pearson matrix of a dataset given as K
+// column vectors of equal length (one row per schedule, one column per
+// metric). The diagonal is 1.
+func CorrMatrix(cols [][]float64) ([][]float64, error) {
+	k := len(cols)
+	if k == 0 {
+		return nil, fmt.Errorf("stats: no columns")
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			return nil, fmt.Errorf("stats: column %d has %d rows, want %d", i, len(c), n)
+		}
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, k)
+		out[i][i] = 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			r := Pearson(cols[i], cols[j])
+			out[i][j], out[j][i] = r, r
+		}
+	}
+	return out, nil
+}
+
+// AggregateMatrices returns the element-wise mean and standard
+// deviation of a set of equally-sized matrices, skipping NaN entries
+// (degenerate correlations). This builds the paper's Fig. 6: mean on
+// the upper triangle, std-dev on the lower.
+func AggregateMatrices(ms [][][]float64) (mean, std [][]float64, err error) {
+	if len(ms) == 0 {
+		return nil, nil, fmt.Errorf("stats: no matrices")
+	}
+	k := len(ms[0])
+	mean = make([][]float64, k)
+	std = make([][]float64, k)
+	for i := range mean {
+		mean[i] = make([]float64, k)
+		std[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			var vals []float64
+			for _, m := range ms {
+				if len(m) != k || len(m[i]) != k {
+					return nil, nil, fmt.Errorf("stats: matrix size mismatch")
+				}
+				if v := m[i][j]; !math.IsNaN(v) {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) == 0 {
+				mean[i][j] = math.NaN()
+				std[i][j] = math.NaN()
+				continue
+			}
+			var sum float64
+			for _, v := range vals {
+				sum += v
+			}
+			mu := sum / float64(len(vals))
+			var ss float64
+			for _, v := range vals {
+				d := v - mu
+				ss += d * d
+			}
+			mean[i][j] = mu
+			std[i][j] = math.Sqrt(ss / float64(len(vals)))
+		}
+	}
+	return mean, std, nil
+}
+
+// FormatMatrix renders a labelled correlation matrix. When std is
+// non-nil the upper triangle shows mean values and the lower triangle
+// standard deviations, reproducing the layout of the paper's Fig. 6.
+func FormatMatrix(labels []string, mean, std [][]float64) string {
+	k := len(labels)
+	var b strings.Builder
+	width := 10
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%*s", width+2, truncate(l, width))
+	}
+	b.WriteByte('\n')
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "%-*s", width+2, truncate(labels[i], width))
+		for j := 0; j < k; j++ {
+			var v float64
+			switch {
+			case i == j:
+				fmt.Fprintf(&b, "%*s", width+2, "—")
+				continue
+			case std != nil && i > j:
+				v = std[i][j]
+			default:
+				v = mean[i][j]
+			}
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "%*s", width+2, "n/a")
+			} else {
+				fmt.Fprintf(&b, "%*.3f", width+2, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,248 @@
+package stochastic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// checkMoments draws samples and compares sample mean/variance with the
+// analytic values.
+func checkMoments(t *testing.T, name string, d Dist, n int, meanTol, varTol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if !almostEqual(mean, d.Mean(), meanTol) {
+		t.Errorf("%s: sample mean %g vs analytic %g", name, mean, d.Mean())
+	}
+	if !almostEqual(variance, d.Variance(), varTol) {
+		t.Errorf("%s: sample variance %g vs analytic %g", name, variance, d.Variance())
+	}
+}
+
+// checkCDFMatchesSamples verifies the analytic CDF against the empirical
+// CDF at several quantile points.
+func checkCDFMatchesSamples(t *testing.T, name string, d Dist, n int, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(123))
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = d.Sample(rng)
+	}
+	emp := NewEmpirical(samples)
+	lo, hi := d.Support()
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		x := lo + frac*(hi-lo)
+		if got, want := d.CDF(x), emp.CDFAt(x); !almostEqual(got, want, tol) {
+			t.Errorf("%s: CDF(%g) = %g vs empirical %g", name, x, got, want)
+		}
+	}
+}
+
+func TestDirac(t *testing.T) {
+	d := Dirac{Value: 3}
+	if d.Mean() != 3 || d.Variance() != 0 {
+		t.Error("Dirac moments wrong")
+	}
+	if d.CDF(2.999) != 0 || d.CDF(3) != 1 || d.CDF(4) != 1 {
+		t.Error("Dirac CDF wrong")
+	}
+	if d.Sample(rand.New(rand.NewSource(1))) != 3 {
+		t.Error("Dirac sample wrong")
+	}
+	lo, hi := d.Support()
+	if lo != 3 || hi != 3 {
+		t.Error("Dirac support wrong")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	if !almostEqual(u.Mean(), 4, 1e-12) || !almostEqual(u.Variance(), 16.0/12, 1e-12) {
+		t.Error("Uniform moments wrong")
+	}
+	if !almostEqual(u.PDF(3), 0.25, 1e-12) || u.PDF(7) != 0 {
+		t.Error("Uniform PDF wrong")
+	}
+	if !almostEqual(u.CDF(4), 0.5, 1e-12) {
+		t.Error("Uniform CDF wrong")
+	}
+	checkMoments(t, "uniform", u, 200000, 0.02, 0.03)
+}
+
+func TestNormal(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2}
+	if !almostEqual(n.CDF(10), 0.5, 1e-12) {
+		t.Error("Normal CDF(mu) != 0.5")
+	}
+	if !almostEqual(n.CDF(12)-n.CDF(8), 0.6826894921, 1e-6) {
+		t.Error("Normal 1-sigma mass wrong")
+	}
+	if !almostEqual(n.PDF(10), 1/(2*math.Sqrt(2*math.Pi)), 1e-12) {
+		t.Error("Normal PDF(mu) wrong")
+	}
+	checkMoments(t, "normal", n, 200000, 0.03, 0.05)
+	checkCDFMatchesSamples(t, "normal", n, 100000, 0.01)
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Rate: 0.5}
+	if !almostEqual(e.Mean(), 2, 1e-12) || !almostEqual(e.Variance(), 4, 1e-12) {
+		t.Error("Exponential moments wrong")
+	}
+	if !almostEqual(e.CDF(e.Mean()), 1-math.Exp(-1), 1e-12) {
+		t.Error("Exponential CDF wrong")
+	}
+	checkMoments(t, "exponential", e, 300000, 0.03, 0.12)
+}
+
+func TestLogNormal(t *testing.T) {
+	l := LogNormal{Mu: 0, Sigma: 0.5}
+	checkMoments(t, "lognormal", l, 300000, 0.02, 0.03)
+	if l.CDF(0) != 0 || l.PDF(-1) != 0 {
+		t.Error("LogNormal must vanish at non-positive x")
+	}
+	if !almostEqual(l.CDF(1), 0.5, 1e-12) {
+		t.Error("LogNormal median wrong")
+	}
+}
+
+func TestGammaMomentsAndCDF(t *testing.T) {
+	for _, g := range []Gamma{{Alpha: 0.5, Theta: 2}, {Alpha: 1, Theta: 1}, {Alpha: 4, Theta: 5}, {Alpha: 9, Theta: 0.5}} {
+		if err := Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		checkMoments(t, "gamma", g, 200000, 0.05*g.Mean()+0.02, 0.08*g.Variance()+0.05)
+		checkCDFMatchesSamples(t, "gamma", g, 80000, 0.012)
+	}
+	// Known value: P(1, x) = 1 - e^-x.
+	g := Gamma{Alpha: 1, Theta: 1}
+	for _, x := range []float64{0.1, 1, 3} {
+		if !almostEqual(g.CDF(x), 1-math.Exp(-x), 1e-10) {
+			t.Errorf("Gamma(1,1).CDF(%g) = %g, want %g", x, g.CDF(x), 1-math.Exp(-x))
+		}
+	}
+}
+
+func TestGammaFromMeanCV(t *testing.T) {
+	g := GammaFromMeanCV(20, 0.5)
+	if !almostEqual(g.Mean(), 20, 1e-9) {
+		t.Errorf("mean = %g, want 20", g.Mean())
+	}
+	cv := math.Sqrt(g.Variance()) / g.Mean()
+	if !almostEqual(cv, 0.5, 1e-9) {
+		t.Errorf("cv = %g, want 0.5", cv)
+	}
+}
+
+func TestBetaMomentsPDFCDF(t *testing.T) {
+	b := Beta{Alpha: 2, Beta: 5, Lo: 0, Hi: 1}
+	if !almostEqual(b.Mean(), 2.0/7, 1e-12) {
+		t.Errorf("Beta mean = %g, want %g", b.Mean(), 2.0/7)
+	}
+	wantVar := 2.0 * 5 / (49 * 8)
+	if !almostEqual(b.Variance(), wantVar, 1e-12) {
+		t.Errorf("Beta variance = %g, want %g", b.Variance(), wantVar)
+	}
+	if !almostEqual(b.Mode(), 0.2, 1e-12) {
+		t.Errorf("Beta mode = %g, want 0.2", b.Mode())
+	}
+	// PDF integrates to 1.
+	var sum float64
+	n := 20001
+	h := 1.0 / float64(n-1)
+	for i := 0; i < n; i++ {
+		sum += b.PDF(float64(i) * h)
+	}
+	if !almostEqual(sum*h, 1, 1e-3) {
+		t.Errorf("Beta PDF mass = %g, want 1", sum*h)
+	}
+	checkMoments(t, "beta", b, 200000, 0.005, 0.005)
+	checkCDFMatchesSamples(t, "beta", b, 80000, 0.01)
+}
+
+func TestBetaScaled(t *testing.T) {
+	// Beta(2,5) over [10, 11] — the paper's UL = 1.1 at min = 10.
+	b := NewBetaUL(10, 1.1)
+	if b.Lo != 10 || !almostEqual(b.Hi, 11, 1e-12) {
+		t.Errorf("support [%g,%g], want [10,11]", b.Lo, b.Hi)
+	}
+	if !almostEqual(b.Mean(), 10+2.0/7, 1e-12) {
+		t.Errorf("scaled mean = %g", b.Mean())
+	}
+	if b.CDF(10) != 0 || b.CDF(11) != 1 {
+		t.Error("scaled CDF endpoints wrong")
+	}
+	if b.PDF(9.99) != 0 || b.PDF(11.01) != 0 {
+		t.Error("scaled PDF outside support must be 0")
+	}
+	// Right-skew: mode below midpoint.
+	if b.Mode() >= 10.5 {
+		t.Errorf("mode %g not right-skewed", b.Mode())
+	}
+}
+
+func TestDurationDist(t *testing.T) {
+	if _, ok := DurationDist(10, 1.0).(Dirac); !ok {
+		t.Error("UL=1 should give Dirac")
+	}
+	if _, ok := DurationDist(0, 1.5).(Dirac); !ok {
+		t.Error("zero minimum should give Dirac")
+	}
+	if _, ok := DurationDist(10, 1.1).(Beta); !ok {
+		t.Error("UL>1 should give Beta")
+	}
+}
+
+func TestRegIncGammaPProperties(t *testing.T) {
+	if RegIncGammaP(2, 0) != 0 {
+		t.Error("P(a,0) must be 0")
+	}
+	if !almostEqual(RegIncGammaP(2, 1e9), 1, 1e-12) {
+		t.Error("P(a,inf) must be 1")
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.0; x <= 20; x += 0.25 {
+		v := RegIncGammaP(3, x)
+		if v < prev-1e-12 {
+			t.Fatalf("P(3,x) not monotone at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	if RegIncBeta(2, 5, 0) != 0 || RegIncBeta(2, 5, 1) != 1 {
+		t.Error("I_x endpoints wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.8} {
+		if !almostEqual(RegIncBeta(2, 5, x), 1-RegIncBeta(5, 2, 1-x), 1e-10) {
+			t.Errorf("symmetry violated at %g", x)
+		}
+	}
+	// I_x(1,1) = x.
+	for _, x := range []float64{0.2, 0.7} {
+		if !almostEqual(RegIncBeta(1, 1, x), x, 1e-10) {
+			t.Errorf("I_x(1,1) = %g, want %g", RegIncBeta(1, 1, x), x)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, d := range []Dist{Dirac{1}, Uniform{0, 1}, Normal{0, 1}, Gamma{2, 3}, Beta{2, 5, 0, 1}, Exponential{1}, LogNormal{0, 1}, NewSpecial()} {
+		if err := Validate(d); err != nil {
+			t.Errorf("Validate(%T): %v", d, err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package repro is the public facade of the reproduction of
+// Canon & Jeannot, "A Comparison of Robustness Metrics for Scheduling
+// DAGs on Heterogeneous Systems" (HeteroPar'07).
+//
+// It re-exports the core types and wires the internal packages into a
+// small high-level API: build a scenario (task graph + heterogeneous
+// platform + uncertainty level), produce schedules (random or with the
+// HEFT / BIL / Hyb.BMCT heuristics), evaluate the schedule's makespan
+// distribution (analytically or by Monte Carlo), and compute the
+// paper's eight robustness metrics.
+//
+//	scen, _ := repro.NewCholeskyScenario(3, 3, 1.01, 42)
+//	res, _ := repro.HEFT(scen)
+//	m, _ := repro.ComputeMetrics(scen, res.Schedule)
+//	fmt.Println(m)
+//
+// The full experiment drivers (Figs. 1–9 of the paper) are exposed via
+// the experiment sub-package and the cmd/experiments tool.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/dag"
+	"repro/internal/experiment"
+	"repro/internal/graphgen"
+	"repro/internal/heuristics"
+	"repro/internal/makespan"
+	"repro/internal/platform"
+	"repro/internal/robustness"
+	"repro/internal/schedule"
+	"repro/internal/stochastic"
+)
+
+// Re-exported core types.
+type (
+	// Graph is a task DAG with communication volumes on its edges.
+	Graph = dag.Graph
+	// Task identifies a node of a Graph.
+	Task = dag.Task
+	// Platform is the heterogeneous target (ETC + network matrices).
+	Platform = platform.Platform
+	// Scenario bundles a graph, a platform and an uncertainty level.
+	Scenario = platform.Scenario
+	// Schedule is an eager schedule (assignment + per-processor order).
+	Schedule = schedule.Schedule
+	// Simulator draws realizations of a schedule.
+	Simulator = schedule.Simulator
+	// Metrics is the paper's eight-metric robustness vector.
+	Metrics = robustness.Metrics
+	// MetricParams are the δ/γ hyper-parameters of the probabilistic
+	// metrics.
+	MetricParams = robustness.Params
+	// HeuristicResult is a heuristic's schedule plus its makespan
+	// estimate.
+	HeuristicResult = heuristics.Result
+	// MakespanRV is a numerically represented makespan distribution.
+	MakespanRV = stochastic.Numeric
+	// EmpiricalRV is a Monte-Carlo sampled makespan distribution.
+	EmpiricalRV = stochastic.Empirical
+)
+
+// Evaluation method names re-exported from the makespan package.
+const (
+	MethodClassic = makespan.Classic
+	MethodDodin   = makespan.Dodin
+	MethodSpelde  = makespan.Spelde
+)
+
+// NewRandomScenario generates the paper's layered random DAG with n
+// tasks (CCR = 0.1, µtask = 20, Vtask = Vmach = 0.5) on m processors
+// with uncertainty level ul.
+func NewRandomScenario(n, m int, ul float64, seed int64) (*Scenario, error) {
+	return experiment.CaseSpec{
+		Name: "random", Kind: experiment.RandomGraph, N: n, M: m, UL: ul, Seed: seed,
+	}.BuildScenario()
+}
+
+// NewCholeskyScenario builds the tiled-Cholesky DAG for a tiles×tiles
+// matrix on m processors (tiles = 3 gives the paper's 10-task graph).
+func NewCholeskyScenario(tiles, m int, ul float64, seed int64) (*Scenario, error) {
+	return experiment.CaseSpec{
+		Name: "cholesky", Kind: experiment.CholeskyGraph,
+		N: graphgen.CholeskyTaskCount(tiles), M: m, UL: ul, Seed: seed,
+	}.BuildScenario()
+}
+
+// NewGaussElimScenario builds the Gaussian-elimination DAG for a
+// size×size matrix on m processors (size = 14 gives the paper's
+// ~103-task graph).
+func NewGaussElimScenario(size, m int, ul float64, seed int64) (*Scenario, error) {
+	return experiment.CaseSpec{
+		Name: "gausselim", Kind: experiment.GaussElimGraph,
+		N: graphgen.GaussElimTaskCount(size), M: m, UL: ul, Seed: seed,
+	}.BuildScenario()
+}
+
+// RandomSchedule draws one random eager schedule by the paper's
+// three-phase process.
+func RandomSchedule(scen *Scenario, seed int64) *Schedule {
+	return heuristics.RandomSchedule(scen, rand.New(rand.NewSource(seed)))
+}
+
+// HEFT schedules the scenario with Heterogeneous Earliest Finish Time.
+func HEFT(scen *Scenario) (HeuristicResult, error) { return heuristics.HEFT(scen) }
+
+// BIL schedules the scenario with the Best Imaginary Level heuristic.
+func BIL(scen *Scenario) (HeuristicResult, error) { return heuristics.BIL(scen) }
+
+// HBMCT schedules the scenario with the hybrid BMCT heuristic.
+func HBMCT(scen *Scenario) (HeuristicResult, error) { return heuristics.HBMCT(scen) }
+
+// CPOP schedules the scenario with Critical-Path-on-a-Processor
+// (an additional makespan-centric baseline cited by the paper).
+func CPOP(scen *Scenario) (HeuristicResult, error) { return heuristics.CPOP(scen) }
+
+// SDHEFT schedules the scenario with the σ-aware list heuristic the
+// paper proposes as future work: every cost is mean + lambda·σ.
+func SDHEFT(scen *Scenario, lambda float64) (HeuristicResult, error) {
+	return heuristics.SDHEFT(scen, lambda)
+}
+
+// MakespanDistribution evaluates the makespan distribution of s with
+// the given method on the paper's 64-point grid.
+func MakespanDistribution(scen *Scenario, s *Schedule, method makespan.Method) (*MakespanRV, error) {
+	return makespan.Evaluate(scen, s, method, 0)
+}
+
+// MonteCarlo draws count makespan realizations of s.
+func MonteCarlo(scen *Scenario, s *Schedule, count int, seed int64) (*EmpiricalRV, error) {
+	return makespan.MonteCarlo(scen, s, count, seed)
+}
+
+// ComputeMetrics evaluates the makespan distribution with the
+// classical method and returns the paper's eight robustness metrics
+// with the default δ = 0.1, γ = 1.0003.
+func ComputeMetrics(scen *Scenario, s *Schedule) (Metrics, error) {
+	rv, err := makespan.EvaluateClassic(scen, s, 0)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return robustness.FromDistribution(scen, s, rv, robustness.DefaultParams())
+}
+
+// ComputeMetricsWith is ComputeMetrics with explicit parameters and a
+// pre-computed distribution.
+func ComputeMetricsWith(scen *Scenario, s *Schedule, rv *MakespanRV, p MetricParams) (Metrics, error) {
+	return robustness.FromDistribution(scen, s, rv, p)
+}
+
+// NewSimulator builds a realization simulator for the schedule.
+func NewSimulator(scen *Scenario, s *Schedule) (*Simulator, error) {
+	return schedule.NewSimulator(scen, s)
+}

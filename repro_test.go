@@ -1,0 +1,94 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeScenarios(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() (*Scenario, error)
+		n    int
+	}{
+		{"random", func() (*Scenario, error) { return NewRandomScenario(20, 4, 1.1, 1) }, 20},
+		{"cholesky", func() (*Scenario, error) { return NewCholeskyScenario(3, 3, 1.01, 2) }, 10},
+		{"gausselim", func() (*Scenario, error) { return NewGaussElimScenario(5, 3, 1.1, 3) }, 14},
+	}
+	for _, c := range cases {
+		scen, err := c.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if scen.G.N() != c.n {
+			t.Errorf("%s: %d tasks, want %d", c.name, scen.G.N(), c.n)
+		}
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	scen, err := NewCholeskyScenario(3, 3, 1.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []struct {
+		name string
+		fn   func(*Scenario) (HeuristicResult, error)
+	}{{"HEFT", HEFT}, {"BIL", BIL}, {"HBMCT", HBMCT}} {
+		res, err := h.fn(scen)
+		if err != nil {
+			t.Fatalf("%s: %v", h.name, err)
+		}
+		if err := res.Schedule.Validate(scen.G); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", h.name, err)
+		}
+		m, err := ComputeMetrics(scen, res.Schedule)
+		if err != nil {
+			t.Fatalf("%s: %v", h.name, err)
+		}
+		if m.Makespan <= 0 || m.StdDev <= 0 {
+			t.Errorf("%s: degenerate metrics %+v", h.name, m)
+		}
+		// The analytic mean matches Monte Carlo within 1%.
+		emp, err := MonteCarlo(scen, res.Schedule, 20000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Makespan-emp.Mean()) > 0.01*emp.Mean() {
+			t.Errorf("%s: analytic mean %g vs MC %g", h.name, m.Makespan, emp.Mean())
+		}
+	}
+}
+
+func TestFacadeMethodsAgree(t *testing.T) {
+	scen, err := NewRandomScenario(15, 3, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RandomSchedule(scen, 11)
+	rvClassic, err := MakespanDistribution(scen, s, MethodClassic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvDodin, err := MakespanDistribution(scen, s, MethodDodin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvSpelde, err := MakespanDistribution(scen, s, MethodSpelde)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := []float64{rvClassic.Mean(), rvDodin.Mean(), rvSpelde.Mean()}
+	for i := 1; i < len(means); i++ {
+		if math.Abs(means[i]-means[0]) > 0.05*means[0] {
+			t.Errorf("method %d mean %g deviates from classic %g", i, means[i], means[0])
+		}
+	}
+	sim, err := NewSimulator(scen, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.MinTiming().Makespan; got > means[0] {
+		t.Errorf("min-duration makespan %g exceeds expected makespan %g", got, means[0])
+	}
+}
