@@ -4,6 +4,19 @@
 // counts); -full restores the paper's 10 000 schedules and 100 000
 // realizations.
 //
+// The correlation cases (figs 3–6) run on a shared worker pool that
+// streams every case×schedule evaluation as one job stream, so all
+// cases progress concurrently; -workers bounds the pool. Results are
+// deterministic for a fixed -seed at every worker count. With
+// -resume (or an explicit -cache-dir) finished cases are stored on
+// disk and an interrupted sweep picks up where it left off. -json
+// switches the reports to machine-readable JSON (plus CSV matrices
+// next to the case figures when -out is set).
+//
+// The first Ctrl-C cancels the case sweep and stops before the next
+// figure; a second Ctrl-C kills the process immediately (the
+// remaining figures compute without interruption points).
+//
 // Besides the paper's nine figures, two §VIII future-work experiments
 // are available: -fig ul (variable per-task uncertainty levels) and
 // -fig osc (oscillating non-Beta duration distributions).
@@ -11,18 +24,22 @@
 // Usage:
 //
 //	experiments [-fig 1|...|9|ul|osc|all] [-full] [-out DIR] [-seed N]
+//	            [-json] [-workers N] [-resume] [-cache-dir DIR]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -34,6 +51,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	schedules := flag.Int("schedules", 0, "override random-schedule count per case")
 	mc := flag.Int("mc", 0, "override Monte-Carlo realization count")
+	workers := flag.Int("workers", 0, "worker-pool size for case evaluations (default GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "write JSON reports (figN.json; CSV matrices beside case figures when -out is set)")
+	resume := flag.Bool("resume", false, "cache finished cases on disk and reuse them on rerun (default dir: .experiments-cache)")
+	cacheDir := flag.String("cache-dir", "", "case-result cache directory (implies -resume)")
 	flag.Parse()
 
 	cfg := experiment.DefaultConfig()
@@ -47,39 +68,162 @@ func main() {
 	if *mc > 0 {
 		cfg.MCRealizations = *mc
 	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+
+	// Fail on an unwritable output directory now, not after hours of
+	// compute. MkdirAll alone is not enough: it succeeds on an
+	// existing read-only directory, so probe with a real write.
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		probe, err := os.CreateTemp(*out, ".writable-*")
+		if err != nil {
+			log.Fatalf("output directory not writable: %v", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+
+	// First Ctrl-C cancels the sweep context; a second one exits
+	// immediately, covering figures that have no internal cancellation
+	// points (figs 1, 2, 7, 8, ul, osc). The buffered channel holds
+	// both signals, so a rapid double Ctrl-C cannot be swallowed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		cancel()
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	env := &runEnv{ctx: ctx, cfg: cfg, outDir: *out, json: *jsonOut}
+	if *cacheDir == "" && *resume {
+		*cacheDir = ".experiments-cache"
+	}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("case cache at %s", cache.Dir())
+		env.opts.Cache = cache
+	}
+
+	// One pool for the whole invocation: with -fig all the cases of
+	// consecutive figures share the same workers.
+	pool := runner.NewPool(cfg.Workers)
+	defer pool.Close()
+	env.opts.Pool = pool
 
 	figs := strings.Split(*figFlag, ",")
 	if *figFlag == "all" {
 		figs = []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "ul", "osc"}
 	}
 	for _, f := range figs {
-		if err := runFig(strings.TrimSpace(f), cfg, *out); err != nil {
+		if ctx.Err() != nil {
+			log.Fatalf("interrupted before figure %s", f)
+		}
+		if err := env.runFig(strings.TrimSpace(f)); err != nil {
 			log.Fatalf("fig %s: %v", f, err)
 		}
 	}
 }
 
+// runEnv carries the per-invocation state shared by every figure.
+type runEnv struct {
+	ctx    context.Context
+	cfg    experiment.Config
+	outDir string
+	json   bool
+	opts   experiment.RunOptions
+}
+
 // output opens the destination writer for a figure.
-func output(outDir, name string) (io.Writer, func(), error) {
-	if outDir == "" {
-		return os.Stdout, func() {}, nil
+func (e *runEnv) output(name string) (io.Writer, func() error, error) {
+	if e.outDir == "" {
+		return os.Stdout, func() error { return nil }, nil
 	}
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(e.outDir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	f, err := os.Create(filepath.Join(outDir, name))
+	f, err := os.Create(filepath.Join(e.outDir, name))
 	if err != nil {
 		return nil, nil, err
 	}
-	return f, func() { f.Close() }, nil
+	return f, f.Close, nil
 }
 
-func runFig(fig string, cfg experiment.Config, outDir string) error {
-	w, closeFn, err := output(outDir, "fig"+fig+".txt")
+// writeFile renders one output file through render.
+func (e *runEnv) writeFile(name string, render func(io.Writer) error) error {
+	w, closeFn, err := e.output(name)
 	if err != nil {
 		return err
 	}
-	defer closeFn()
+	if err := render(w); err != nil {
+		closeFn()
+		return err
+	}
+	return closeFn()
+}
+
+// emit writes the figure's report: text by default, JSON with -json.
+func (e *runEnv) emit(fig string, res any, text func(io.Writer) error) error {
+	if e.json {
+		return e.writeFile("fig"+fig+".json", func(w io.Writer) error {
+			return experiment.WriteJSON(w, res)
+		})
+	}
+	return e.writeFile("fig"+fig+".txt", text)
+}
+
+// emitWithCSV writes the figure's report plus — in JSON mode with an
+// output directory — a companion CSV file rendered by csvRender.
+func (e *runEnv) emitWithCSV(fig string, res any, text func(io.Writer) error, csvName string, csvRender func(io.Writer) error) error {
+	err := e.emit(fig, res, text)
+	if err != nil || !e.json || e.outDir == "" {
+		return err
+	}
+	return e.writeFile(csvName, csvRender)
+}
+
+// emitCase writes a correlation-case figure, adding the Pearson-matrix
+// CSV next to the JSON document when writing into a directory.
+func (e *runEnv) emitCase(fig string, res *experiment.CaseResult) error {
+	return e.emitWithCSV(fig, res, func(w io.Writer) error {
+		experiment.WriteCase(w, res)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, experiment.SummarizeHeuristics(res))
+		return nil
+	}, "fig"+fig+"_corr.csv", func(w io.Writer) error {
+		return experiment.WriteCorrCSV(w, res)
+	})
+}
+
+// progress returns the per-case progress logger of a sweep.
+func (e *runEnv) progress() func(done, total int, name string) {
+	return func(done, total int, name string) {
+		log.Printf("  case %d/%d (%s)", done, total, name)
+	}
+}
+
+// runCaseFig runs one correlation case through the orchestrator (so
+// the shared pool and cache apply) and renders it.
+func (e *runEnv) runCaseFig(fig string, spec experiment.CaseSpec) error {
+	results, err := experiment.RunCases(e.ctx, []experiment.CaseSpec{spec}, e.cfg, e.opts)
+	if err != nil {
+		return err
+	}
+	return e.emitCase(fig, results[0])
+}
+
+func (e *runEnv) runFig(fig string) error {
+	cfg := e.cfg
 	log.Printf("running figure %s ...", fig)
 	switch fig {
 	case "1":
@@ -87,62 +231,80 @@ func runFig(fig string, cfg experiment.Config, outDir string) error {
 		if err != nil {
 			return err
 		}
-		experiment.WriteFig1(w, rows)
+		return e.emit(fig, rows, func(w io.Writer) error {
+			experiment.WriteFig1(w, rows)
+			return nil
+		})
 	case "2":
 		res, err := experiment.Fig2(cfg)
 		if err != nil {
 			return err
 		}
-		experiment.WriteFig2(w, res)
-	case "3", "4", "5":
-		var spec experiment.CaseSpec
-		switch fig {
-		case "3":
-			spec = experiment.Fig3Case(cfg.Seed)
-		case "4":
-			spec = experiment.Fig4Case(cfg.Seed)
-		default:
-			spec = experiment.Fig5Case(cfg.Seed)
-		}
-		res, err := experiment.RunCase(spec, cfg)
-		if err != nil {
-			return err
-		}
-		experiment.WriteCase(w, res)
-		fmt.Fprintln(w)
-		fmt.Fprint(w, experiment.SummarizeHeuristics(res))
-	case "6":
-		res, err := experiment.Fig6(cfg, func(done, total int, name string) {
-			log.Printf("  case %d/%d (%s)", done, total, name)
+		return e.emit(fig, res, func(w io.Writer) error {
+			experiment.WriteFig2(w, res)
+			return nil
 		})
+	case "3":
+		return e.runCaseFig(fig, experiment.Fig3Case(cfg.Seed))
+	case "4":
+		return e.runCaseFig(fig, experiment.Fig4Case(cfg.Seed))
+	case "5":
+		return e.runCaseFig(fig, experiment.Fig5Case(cfg.Seed))
+	case "6":
+		opts := e.opts
+		opts.Progress = e.progress()
+		res, err := experiment.Fig6Run(e.ctx, cfg, opts)
 		if err != nil {
 			return err
 		}
-		experiment.WriteFig6(w, res)
+		return e.emitWithCSV(fig, res, func(w io.Writer) error {
+			experiment.WriteFig6(w, res)
+			return nil
+		}, "fig6_matrix.csv", func(w io.Writer) error {
+			return experiment.WriteFig6CSV(w, res)
+		})
 	case "7":
-		experiment.WriteFig7(w, experiment.Fig7(0))
+		res := experiment.Fig7(0)
+		return e.emit(fig, res, func(w io.Writer) error {
+			experiment.WriteFig7(w, res)
+			return nil
+		})
 	case "8":
-		experiment.WriteFig8(w, experiment.Fig8(cfg, 0))
+		rows := experiment.Fig8(cfg, 0)
+		return e.emit(fig, rows, func(w io.Writer) error {
+			experiment.WriteFig8(w, rows)
+			return nil
+		})
 	case "9":
 		rows, err := experiment.Fig9(cfg, 0)
 		if err != nil {
 			return err
 		}
-		experiment.WriteFig9(w, rows)
+		return e.emit(fig, rows, func(w io.Writer) error {
+			experiment.WriteFig9(w, rows)
+			return nil
+		})
 	case "ul":
 		res, err := experiment.VariableUL(cfg, 2)
 		if err != nil {
 			return err
 		}
-		experiment.WriteVariableUL(w, res)
+		return e.emit(fig, res, func(w io.Writer) error {
+			experiment.WriteVariableUL(w, res)
+			return nil
+		})
 	case "osc":
 		res, err := experiment.OscillatingDurationsCase(cfg)
 		if err != nil {
 			return err
 		}
-		experiment.WriteCase(w, res)
+		return e.emitWithCSV(fig, res, func(w io.Writer) error {
+			experiment.WriteCase(w, res)
+			return nil
+		}, "fig"+fig+"_corr.csv", func(w io.Writer) error {
+			return experiment.WriteCorrCSV(w, res)
+		})
 	default:
 		return fmt.Errorf("unknown figure %q", fig)
 	}
-	return nil
 }

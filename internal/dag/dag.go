@@ -179,11 +179,16 @@ func (g *Graph) IsAcyclic() bool {
 	return err == nil
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. Edges are inserted in
+// sorted (from, to) order — NOT in map iteration order — so the
+// clone's Pred/Succ adjacency orders are deterministic. Downstream
+// evaluators accumulate floating-point maxima and sums in adjacency
+// order; a map-ordered clone made their low-order bits vary from run
+// to run.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
-	for k, v := range g.vol {
-		_ = c.AddEdge(k[0], k[1], v)
+	for _, e := range g.Edges() {
+		_ = c.AddEdge(e.From, e.To, e.Volume)
 	}
 	if g.names != nil {
 		c.names = append([]string(nil), g.names...)

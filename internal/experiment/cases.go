@@ -7,6 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/graphgen"
 	"repro/internal/platform"
+	"repro/internal/runner"
 )
 
 // GraphKind selects a task-graph family from §V.
@@ -47,6 +48,17 @@ type CaseSpec struct {
 	M    int // processors
 	UL   float64
 	Seed int64
+}
+
+// WithDerivedSeed returns a copy of the spec whose seed is derived
+// deterministically from a base seed and the spec's identity (name
+// and geometry). The derivation is independent of worker count and
+// submission order, so ad-hoc sweeps stay reproducible without
+// hand-numbering their cases.
+func (c CaseSpec) WithDerivedSeed(base int64) CaseSpec {
+	c.Seed = runner.DeriveSeed(base,
+		fmt.Sprintf("%s/%s/n%d/m%d/ul%g", c.Name, c.Kind, c.N, c.M, c.UL))
+	return c
 }
 
 // choleskyTiles returns the tile count whose task count is closest to

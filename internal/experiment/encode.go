@@ -1,0 +1,385 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/robustness"
+)
+
+// This file provides the machine-readable encodings of the experiment
+// results: JSON documents with stable, versioned schemas for
+// CaseResult and Fig6Result (the figure row types marshal directly via
+// their struct tags), and CSV for the correlation matrices.
+//
+// Correlation entries can be NaN (degenerate columns, e.g. the slack
+// of single-processor platforms), which encoding/json rejects; the
+// JSONFloat wrapper encodes non-finite values as the strings "NaN",
+// "+Inf" and "-Inf", so documents round-trip exactly.
+
+// JSONFloat is a float64 whose non-finite values survive JSON: NaN and
+// ±Inf encode as the strings "NaN", "+Inf", "-Inf" (plain numbers
+// otherwise), and all four forms — plus null, read as NaN — decode
+// back.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"NaN"`, "null":
+		*f = JSONFloat(math.NaN())
+		return nil
+	case `"+Inf"`, `"Inf"`:
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = JSONFloat(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+func toJSONFloats(xs []float64) []JSONFloat {
+	out := make([]JSONFloat, len(xs))
+	for i, x := range xs {
+		out[i] = JSONFloat(x)
+	}
+	return out
+}
+
+func fromJSONFloats(xs []JSONFloat) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func toJSONMatrix(m [][]float64) [][]JSONFloat {
+	out := make([][]JSONFloat, len(m))
+	for i, row := range m {
+		out[i] = toJSONFloats(row)
+	}
+	return out
+}
+
+func fromJSONMatrix(m [][]JSONFloat) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = fromJSONFloats(row)
+	}
+	return out
+}
+
+// Schema tags embedded in the JSON documents; bump on breaking layout
+// changes so downstream consumers can detect them.
+const (
+	CaseResultSchema = "repro/case-result/v1"
+	Fig6Schema       = "repro/fig6/v1"
+)
+
+// caseSpecJSON mirrors CaseSpec with the graph kind as a string.
+type caseSpecJSON struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	N    int     `json:"n"`
+	M    int     `json:"m"`
+	UL   float64 `json:"ul"`
+	Seed int64   `json:"seed"`
+}
+
+func parseGraphKind(s string) (GraphKind, error) {
+	for _, k := range []GraphKind{RandomGraph, CholeskyGraph, GaussElimGraph, JoinGraph} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: unknown graph kind %q", s)
+}
+
+func specToJSON(s CaseSpec) caseSpecJSON {
+	return caseSpecJSON{Name: s.Name, Kind: s.Kind.String(), N: s.N, M: s.M, UL: s.UL, Seed: s.Seed}
+}
+
+func specFromJSON(s caseSpecJSON) (CaseSpec, error) {
+	kind, err := parseGraphKind(s.Kind)
+	if err != nil {
+		return CaseSpec{}, err
+	}
+	return CaseSpec{Name: s.Name, Kind: kind, N: s.N, M: s.M, UL: s.UL, Seed: s.Seed}, nil
+}
+
+// metricsJSON mirrors robustness.Metrics in Vector order.
+type metricsJSON struct {
+	Makespan    JSONFloat `json:"makespan"`
+	StdDev      JSONFloat `json:"stddev"`
+	Entropy     JSONFloat `json:"entropy"`
+	AvgSlack    JSONFloat `json:"slack"`
+	SlackStdDev JSONFloat `json:"slackstd"`
+	Lateness    JSONFloat `json:"lateness"`
+	AbsProb     JSONFloat `json:"absprob"`
+	RelProb     JSONFloat `json:"relprob"`
+}
+
+func metricsToJSON(m robustness.Metrics) metricsJSON {
+	return metricsJSON{
+		Makespan:    JSONFloat(m.Makespan),
+		StdDev:      JSONFloat(m.StdDev),
+		Entropy:     JSONFloat(m.Entropy),
+		AvgSlack:    JSONFloat(m.AvgSlack),
+		SlackStdDev: JSONFloat(m.SlackStdDev),
+		Lateness:    JSONFloat(m.Lateness),
+		AbsProb:     JSONFloat(m.AbsProb),
+		RelProb:     JSONFloat(m.RelProb),
+	}
+}
+
+func metricsFromJSON(m metricsJSON) robustness.Metrics {
+	return robustness.Metrics{
+		Makespan:    float64(m.Makespan),
+		StdDev:      float64(m.StdDev),
+		Entropy:     float64(m.Entropy),
+		AvgSlack:    float64(m.AvgSlack),
+		SlackStdDev: float64(m.SlackStdDev),
+		Lateness:    float64(m.Lateness),
+		AbsProb:     float64(m.AbsProb),
+		RelProb:     float64(m.RelProb),
+	}
+}
+
+type heuristicJSON struct {
+	Name    string      `json:"name"`
+	Metrics metricsJSON `json:"metrics"`
+}
+
+type caseResultJSON struct {
+	Schema             string          `json:"schema"`
+	Spec               caseSpecJSON    `json:"spec"`
+	MetricNames        []string        `json:"metric_names"`
+	Metrics            []metricsJSON   `json:"metrics"`
+	Heuristics         []heuristicJSON `json:"heuristics"`
+	Corr               [][]JSONFloat   `json:"corr"`
+	RelByMakespanVsStd JSONFloat       `json:"rel_by_makespan_vs_std"`
+}
+
+// MarshalJSON encodes the case with the repro/case-result/v1 schema.
+func (r *CaseResult) MarshalJSON() ([]byte, error) {
+	doc := caseResultJSON{
+		Schema:             CaseResultSchema,
+		Spec:               specToJSON(r.Spec),
+		MetricNames:        metricShortNames,
+		Metrics:            make([]metricsJSON, len(r.Metrics)),
+		Heuristics:         make([]heuristicJSON, len(r.Heuristics)),
+		Corr:               toJSONMatrix(r.Corr),
+		RelByMakespanVsStd: JSONFloat(r.RelByMakespanVsStd),
+	}
+	for i, m := range r.Metrics {
+		doc.Metrics[i] = metricsToJSON(m)
+	}
+	for i, h := range r.Heuristics {
+		doc.Heuristics[i] = heuristicJSON{Name: h.Name, Metrics: metricsToJSON(h.Metrics)}
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON decodes a repro/case-result/v1 document.
+func (r *CaseResult) UnmarshalJSON(b []byte) error {
+	var doc caseResultJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if doc.Schema != CaseResultSchema {
+		return fmt.Errorf("experiment: case document has schema %q, want %q", doc.Schema, CaseResultSchema)
+	}
+	spec, err := specFromJSON(doc.Spec)
+	if err != nil {
+		return err
+	}
+	out := CaseResult{
+		Spec:               spec,
+		Metrics:            make([]robustness.Metrics, len(doc.Metrics)),
+		Corr:               fromJSONMatrix(doc.Corr),
+		RelByMakespanVsStd: float64(doc.RelByMakespanVsStd),
+	}
+	for i, m := range doc.Metrics {
+		out.Metrics[i] = metricsFromJSON(m)
+	}
+	for _, h := range doc.Heuristics {
+		out.Heuristics = append(out.Heuristics, HeuristicResult{Name: h.Name, Metrics: metricsFromJSON(h.Metrics)})
+	}
+	*r = out
+	return nil
+}
+
+type fig6JSON struct {
+	Schema         string        `json:"schema"`
+	MetricNames    []string      `json:"metric_names"`
+	Cases          []*CaseResult `json:"cases"`
+	Mean           [][]JSONFloat `json:"mean"`
+	Std            [][]JSONFloat `json:"std"`
+	RelByMkspnMean JSONFloat     `json:"rel_by_makespan_vs_std_mean"`
+	RelByMkspnStd  JSONFloat     `json:"rel_by_makespan_vs_std_std"`
+}
+
+// MarshalJSON encodes the aggregate with the repro/fig6/v1 schema.
+func (r *Fig6Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(fig6JSON{
+		Schema:         Fig6Schema,
+		MetricNames:    metricShortNames,
+		Cases:          r.Cases,
+		Mean:           toJSONMatrix(r.Mean),
+		Std:            toJSONMatrix(r.Std),
+		RelByMkspnMean: JSONFloat(r.RelByMkspnMean),
+		RelByMkspnStd:  JSONFloat(r.RelByMkspnStd),
+	})
+}
+
+// UnmarshalJSON decodes a repro/fig6/v1 document.
+func (r *Fig6Result) UnmarshalJSON(b []byte) error {
+	var doc fig6JSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if doc.Schema != Fig6Schema {
+		return fmt.Errorf("experiment: fig6 document has schema %q, want %q", doc.Schema, Fig6Schema)
+	}
+	*r = Fig6Result{
+		Cases:          doc.Cases,
+		Mean:           fromJSONMatrix(doc.Mean),
+		Std:            fromJSONMatrix(doc.Std),
+		RelByMkspnMean: float64(doc.RelByMkspnMean),
+		RelByMkspnStd:  float64(doc.RelByMkspnStd),
+	}
+	return nil
+}
+
+// variableULAlias strips the methods so the embedded remainder of
+// VariableULResult marshals with the default field encoding.
+type variableULAlias VariableULResult
+
+// variableULJSON shadows the two Pearson correlations — the only
+// fields of the report that can be NaN (degenerate metric columns) —
+// with the NaN-safe wrapper; every other field passes through.
+type variableULJSON struct {
+	ConstCorr JSONFloat `json:"const_corr"`
+	VarCorr   JSONFloat `json:"var_corr"`
+	*variableULAlias
+}
+
+// MarshalJSON keeps `-fig ul -json` working when a correlation is
+// NaN, which encoding/json would otherwise reject.
+func (r *VariableULResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(variableULJSON{
+		ConstCorr:       JSONFloat(r.ConstCorr),
+		VarCorr:         JSONFloat(r.VarCorr),
+		variableULAlias: (*variableULAlias)(r),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (r *VariableULResult) UnmarshalJSON(b []byte) error {
+	var doc variableULJSON
+	doc.variableULAlias = (*variableULAlias)(r)
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	r.ConstCorr = float64(doc.ConstCorr)
+	r.VarCorr = float64(doc.VarCorr)
+	return nil
+}
+
+// WriteJSON renders any result value as indented JSON (one document,
+// trailing newline) — the machine-readable twin of the WriteFigN text
+// reports.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// formatCSVFloat renders a float for CSV with full round-trip
+// precision; non-finite values use the same spellings as the JSON
+// encoding.
+func formatCSVFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteMatrixCSV writes a labelled square matrix as CSV: a header row
+// of metric names, then one row per metric with its name in the first
+// column.
+func WriteMatrixCSV(w io.Writer, names []string, m [][]float64) error {
+	if len(m) != len(names) {
+		return fmt.Errorf("experiment: matrix has %d rows for %d names", len(m), len(names))
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"metric"}, names...)); err != nil {
+		return err
+	}
+	for i, row := range m {
+		if len(row) != len(names) {
+			return fmt.Errorf("experiment: row %d has %d columns for %d names", i, len(row), len(names))
+		}
+		rec := make([]string, 0, len(names)+1)
+		rec = append(rec, names[i])
+		for _, v := range row {
+			rec = append(rec, formatCSVFloat(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCorrCSV writes a case's Pearson matrix as CSV.
+func WriteCorrCSV(w io.Writer, res *CaseResult) error {
+	return WriteMatrixCSV(w, metricShortNames, res.Corr)
+}
+
+// WriteFig6CSV writes the aggregated mean and std matrices as two CSV
+// tables separated by a blank line, each preceded by a single-field
+// title row.
+func WriteFig6CSV(w io.Writer, res *Fig6Result) error {
+	if _, err := fmt.Fprintln(w, "mean"); err != nil {
+		return err
+	}
+	if err := WriteMatrixCSV(w, metricShortNames, res.Mean); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "\nstd"); err != nil {
+		return err
+	}
+	return WriteMatrixCSV(w, metricShortNames, res.Std)
+}

@@ -17,6 +17,18 @@ func testConfig() Config {
 	return c
 }
 
+// shortConfig shrinks a test's config further under -short: fewer
+// schedules and Monte-Carlo realizations. Statistical assertions in
+// short mode should use the generous thresholds that hold at these
+// sample counts; the full run keeps paper-faithful scales.
+func shortConfig(c Config) Config {
+	if testing.Short() {
+		c.Schedules = 15
+		c.MCRealizations = 1500
+	}
+	return c
+}
+
 func TestCaseSpecBuildScenario(t *testing.T) {
 	for _, spec := range []CaseSpec{
 		{Name: "r", Kind: RandomGraph, N: 20, M: 4, UL: 1.1, Seed: 1},
@@ -111,7 +123,7 @@ func TestRunCaseSmall(t *testing.T) {
 }
 
 func TestRunCaseHeuristicsDominateRandom(t *testing.T) {
-	cfg := testConfig()
+	cfg := shortConfig(testConfig())
 	res, err := RunCase(Fig4Case(cfg.Seed), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -145,8 +157,12 @@ func TestInvertedColumns(t *testing.T) {
 }
 
 func TestFig1ShowsGrowingImprecision(t *testing.T) {
-	cfg := testConfig()
-	rows, err := Fig1(cfg, []int{10, 60}, 2)
+	cfg := shortConfig(testConfig())
+	sizes, perSize := []int{10, 60}, 2
+	if testing.Short() {
+		sizes, perSize = []int{10, 30}, 1
+	}
+	rows, err := Fig1(cfg, sizes, perSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,6 +342,25 @@ func TestConfigHelpers(t *testing.T) {
 	}
 	if BenchConfig().Schedules >= DefaultConfig().Schedules {
 		t.Error("bench config should be smaller")
+	}
+}
+
+func TestWithDerivedSeed(t *testing.T) {
+	spec := CaseSpec{Name: "x", Kind: RandomGraph, N: 10, M: 3, UL: 1.1}
+	a, b := spec.WithDerivedSeed(1), spec.WithDerivedSeed(1)
+	if a.Seed == 0 || a.Seed != b.Seed {
+		t.Errorf("derivation not deterministic: %d vs %d", a.Seed, b.Seed)
+	}
+	if spec.Seed != 0 {
+		t.Error("receiver mutated")
+	}
+	if a.Seed == spec.WithDerivedSeed(2).Seed {
+		t.Error("base seed ignored")
+	}
+	other := spec
+	other.UL = 1.2
+	if a.Seed == other.WithDerivedSeed(1).Seed {
+		t.Error("spec identity ignored")
 	}
 }
 

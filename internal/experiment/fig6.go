@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,22 +23,29 @@ type Fig6Result struct {
 // matrices. progress, when non-nil, receives one call per finished
 // case.
 func Fig6(cfg Config, progress func(done, total int, name string)) (*Fig6Result, error) {
+	return Fig6Run(context.Background(), cfg, RunOptions{Progress: progress})
+}
+
+// Fig6Run is Fig6 under the orchestrator: all cases progress
+// concurrently through one shared worker pool (opts.Pool, or a
+// temporary one), optionally resuming from opts.Cache. The
+// aggregation visits cases in spec order, so the result — and any
+// report rendered from it — is byte-identical to a sequential run for
+// a fixed seed, at every worker count.
+func Fig6Run(ctx context.Context, cfg Config, opts RunOptions) (*Fig6Result, error) {
 	specs := Fig6Cases(cfg.Seed)
+	cases, err := RunCases(ctx, specs, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig6Result{}
 	var mats [][][]float64
 	var relVals []float64
-	for i, spec := range specs {
-		cr, err := RunCase(spec, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for _, cr := range cases {
 		res.Cases = append(res.Cases, cr)
 		mats = append(mats, cr.Corr)
 		if !math.IsNaN(cr.RelByMakespanVsStd) {
 			relVals = append(relVals, cr.RelByMakespanVsStd)
-		}
-		if progress != nil {
-			progress(i+1, len(specs), spec.Name)
 		}
 	}
 	mean, std, err := stats.AggregateMatrices(mats)

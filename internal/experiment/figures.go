@@ -24,8 +24,9 @@ func (a distCDF) CDFAt(x float64) float64 { return a.d.CDF(x) }
 // between the classical (independence-assumption) makespan CDF and the
 // Monte-Carlo CDF for random graphs of a given size.
 type Fig1Row struct {
-	N      int
-	KS, CM float64
+	N  int     `json:"n"`
+	KS float64 `json:"ks"`
+	CM float64 `json:"cm"`
 }
 
 // Fig1 reproduces Fig. 1 ("average precision with the independence
@@ -88,10 +89,11 @@ func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
 // makespan distribution against the Monte-Carlo histogram, with the
 // achieved KS and CM distances.
 type Fig2Result struct {
-	X          []float64
-	Calculated []float64
-	Empirical  []float64
-	KS, CM     float64
+	X          []float64 `json:"x"`
+	Calculated []float64 `json:"calculated"`
+	Empirical  []float64 `json:"empirical"`
+	KS         float64   `json:"ks"`
+	CM         float64   `json:"cm"`
 }
 
 // Fig2 reproduces Fig. 2 (visual comparison of the calculated and
@@ -134,11 +136,11 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 // concatenated-Beta distribution against the normal with identical
 // mean and standard deviation.
 type Fig7Result struct {
-	X       []float64
-	Special []float64
-	Normal  []float64
-	Mean    float64
-	Std     float64
+	X       []float64 `json:"x"`
+	Special []float64 `json:"special"`
+	Normal  []float64 `json:"normal"`
+	Mean    float64   `json:"mean"`
+	Std     float64   `json:"std"`
 }
 
 // Fig7 reproduces Fig. 7.
@@ -170,9 +172,10 @@ func Fig7(points int) *Fig7Result {
 // (Cramér–von-Mises proper) is also reported and shows the steep CLT
 // decay of the paper's log plot.
 type Fig8Row struct {
-	Sums       int // number of summations (0 = the distribution itself)
-	KS, CM     float64
-	CvMSquared float64
+	Sums       int     `json:"sums"` // number of summations (0 = the distribution itself)
+	KS         float64 `json:"ks"`
+	CM         float64 `json:"cm"`
+	CvMSquared float64 `json:"cvm_squared"`
 }
 
 // Fig8 reproduces Fig. 8: convergence of repeated self-sums of the
@@ -204,10 +207,10 @@ func Fig8(cfg Config, maxSums int) []Fig8Row {
 
 // Fig9Row summarizes one of the four join-graph schedules of Fig. 9.
 type Fig9Row struct {
-	Name     string
-	Slack    float64 // average slack S
-	StdDev   float64 // σ_M (robustness)
-	Makespan float64 // E(M)
+	Name     string  `json:"name"`
+	Slack    float64 `json:"slack"`    // average slack S
+	StdDev   float64 `json:"stddev"`   // σ_M (robustness)
+	Makespan float64 `json:"makespan"` // E(M)
 }
 
 // Fig9 reproduces the Fig. 9 case study: a join graph of N+1 i.i.d.

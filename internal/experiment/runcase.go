@@ -1,15 +1,16 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/heuristics"
 	"repro/internal/makespan"
 	"repro/internal/platform"
 	"repro/internal/robustness"
+	"repro/internal/runner"
 	"repro/internal/schedule"
 	"repro/internal/stats"
 )
@@ -75,66 +76,101 @@ func evaluateOne(scen *platform.Scenario, s *schedule.Schedule, cfg Config) (rob
 
 // RunCase executes one correlation case: it generates the scenario,
 // draws the configured number of random schedules, evaluates all
-// metrics for each (in parallel), evaluates the three heuristics, and
-// assembles the Pearson matrix.
+// metrics for each (in parallel on a private pool), evaluates the
+// three heuristics, and assembles the Pearson matrix.
 func RunCase(spec CaseSpec, cfg Config) (*CaseResult, error) {
-	scen, err := spec.BuildScenario()
+	pool := runner.NewPool(cfg.workers())
+	defer pool.Close()
+	return RunCaseOn(context.Background(), spec, cfg, pool)
+}
+
+// RunCaseOn is RunCase executing its per-schedule evaluations on a
+// shared worker pool. Sweeps run many cases concurrently against one
+// pool, so the case×schedule evaluations form a single job stream and
+// the pool stays saturated across case boundaries. Results are
+// written into index-addressed slots, so they are identical for every
+// worker count.
+func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool) (*CaseResult, error) {
+	// The serial phases run as (single-job) pool batches too, so the
+	// whole case — generation and assembly, not just the fan-out —
+	// stays inside the worker bound even when many cases are in
+	// flight.
+	var (
+		scen   *platform.Scenario
+		scheds []*schedule.Schedule
+	)
+	err := pool.Batch(ctx, 1, func(int) error {
+		var err error
+		scen, err = spec.BuildScenario()
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
+		scheds = heuristics.RandomSchedules(scen, cfg.schedulesFor(scen.G.N()), rng)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	nSched := cfg.schedulesFor(scen.G.N())
-	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
-	scheds := heuristics.RandomSchedules(scen, nSched, rng)
+	nSched := len(scheds)
 
 	metrics := make([]robustness.Metrics, nSched)
-	errs := make([]error, nSched)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for i := range scheds {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			metrics[i], errs[i] = evaluateOne(scen, scheds[i], cfg)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiment: case %q: %w", spec.Name, err)
-		}
+	err = pool.Batch(ctx, nSched, func(i int) error {
+		var err error
+		metrics[i], err = evaluateOne(scen, scheds[i], cfg)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: case %q: %w", spec.Name, err)
 	}
 
 	res := &CaseResult{Spec: spec, Metrics: metrics}
-	for _, h := range heuristics.All() {
+	// The heuristic evaluations go through the pool too: each costs as
+	// much as a schedule job, and running them on the case goroutine
+	// would let a wide sweep exceed the -workers bound.
+	hs := heuristics.All()
+	hres := make([]HeuristicResult, len(hs))
+	err = pool.Batch(ctx, len(hs), func(i int) error {
+		h := hs[i]
 		hr, err := h.Fn(scen)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
+			return fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
 		}
 		m, err := evaluateOne(scen, hr.Schedule, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
+			return fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
 		}
-		res.Heuristics = append(res.Heuristics, HeuristicResult{Name: h.Name, Metrics: m})
-	}
-
-	cols := InvertedColumns(metrics)
-	corr, err := stats.CorrMatrix(cols)
+		hres[i] = HeuristicResult{Name: h.Name, Metrics: m}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	res.Corr = corr
+	res.Heuristics = hres
 
-	// §VII: the relative probabilistic metric divided by the makespan
-	// (then inverted like the other probabilistic metrics) against σ_M.
-	relBy := make([]float64, nSched)
-	stds := make([]float64, nSched)
-	for i, m := range metrics {
-		relBy[i] = 1 - m.RelProbByMakespan()
-		stds[i] = m.StdDev
+	err = pool.Batch(ctx, 1, func(int) error {
+		cols := InvertedColumns(metrics)
+		corr, err := stats.CorrMatrix(cols)
+		if err != nil {
+			return err
+		}
+		res.Corr = corr
+
+		// §VII: the relative probabilistic metric divided by the
+		// makespan (then inverted like the other probabilistic metrics)
+		// against σ_M.
+		relBy := make([]float64, nSched)
+		stds := make([]float64, nSched)
+		for i, m := range metrics {
+			relBy[i] = 1 - m.RelProbByMakespan()
+			stds[i] = m.StdDev
+		}
+		res.RelByMakespanVsStd = stats.Pearson(relBy, stds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.RelByMakespanVsStd = stats.Pearson(relBy, stds)
 	return res, nil
 }
 

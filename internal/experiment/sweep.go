@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/runner"
+)
+
+// RunOptions configures orchestrated case execution.
+type RunOptions struct {
+	// Pool is the shared worker pool carrying the per-schedule
+	// evaluation jobs; nil creates a temporary pool of cfg.workers()
+	// workers for the duration of the call.
+	Pool *runner.Pool
+	// Cache, when non-nil, is consulted before computing a case and
+	// filled after, making interrupted sweeps resumable.
+	Cache *runner.Cache
+	// Progress, when non-nil, receives one call per finished case (in
+	// completion order; done counts finished cases).
+	Progress func(done, total int, name string)
+}
+
+// caseCacheVersion tags cache entries; bump it whenever the result
+// semantics or encoding of a case change.
+const caseCacheVersion = "repro/case/v1"
+
+// CaseCacheKey derives the disk-cache key of a case: a hash of the
+// full spec and every configuration field that affects the result
+// (worker count and Monte-Carlo realizations do not).
+func CaseCacheKey(spec CaseSpec, cfg Config) (string, error) {
+	return runner.Key(caseCacheVersion, spec, struct {
+		Schedules int
+		GridSize  int
+		Delta     float64
+		Gamma     float64
+	}{cfg.Schedules, cfg.GridSize, cfg.Delta, cfg.Gamma})
+}
+
+// RunCases executes every spec concurrently on one shared worker
+// pool: each case streams its schedule-evaluation jobs into the same
+// pool, so all cases progress together and the pool never idles while
+// any case has work left. Results come back in spec order regardless
+// of completion order, and are byte-identical for every worker count.
+//
+// Specs are run with exactly the seeds they carry (RunCases and
+// RunCase always agree); ad-hoc sweeps that don't want to
+// hand-number their cases can seed them with WithDerivedSeed first.
+func RunCases(ctx context.Context, specs []CaseSpec, cfg Config, opts RunOptions) ([]*CaseResult, error) {
+	pool := opts.Pool
+	if pool == nil {
+		pool = runner.NewPool(cfg.workers())
+		defer pool.Close()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*CaseResult, len(specs))
+	errs := make([]error, len(specs))
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		done       int
+	)
+	// Cases in flight are bounded by the pool size: a case's serial
+	// phases (scenario build, schedule generation, matrix assembly)
+	// run on its own goroutine, and admitting more cases than workers
+	// would let that serial work exceed the -workers bound. Admission
+	// follows spec order, so an interrupted sweep has finished — and
+	// cached — a prefix of the cases instead of leaving two dozen all
+	// half-done.
+	caseCh := make(chan int)
+	go func() {
+		defer close(caseCh)
+		for i := range specs {
+			select {
+			case caseCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	caseWorkers := pool.Workers()
+	if caseWorkers > len(specs) {
+		caseWorkers = len(specs)
+	}
+	for w := 0; w < caseWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range caseCh {
+				spec := specs[i]
+				res, err := runCaseCached(ctx, spec, cfg, pool, opts.Cache)
+				results[i], errs[i] = res, err
+				if err != nil {
+					cancel() // fail fast: stop sibling cases
+					return
+				}
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(done, len(specs), spec.Name)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Prefer a root-cause error over the context.Canceled echoes the
+	// fail-fast cancellation produces in sibling cases.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// All recorded errors were nil, but cancellation may have struck
+	// before some cases were even admitted.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runCaseCached wraps RunCaseOn with the optional disk cache: hits
+// skip the computation entirely, misses are stored after computing. A
+// corrupt entry (e.g. a partial write from a crashed kernel) is
+// recomputed and overwritten rather than trusted.
+func runCaseCached(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool, cache *runner.Cache) (*CaseResult, error) {
+	var key string
+	if cache != nil {
+		var err error
+		key, err = CaseCacheKey(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if data, ok, err := cache.Get(key); err != nil {
+			return nil, err
+		} else if ok {
+			var res CaseResult
+			if err := json.Unmarshal(data, &res); err == nil {
+				return &res, nil
+			}
+		}
+	}
+	res, err := RunCaseOn(ctx, spec, cfg, pool)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		data, err := json.Marshal(res)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: encode case %q for cache: %w", spec.Name, err)
+		}
+		if err := cache.Put(key, data); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

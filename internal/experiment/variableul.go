@@ -18,37 +18,37 @@ import (
 // proportionality between duration means and standard deviations), and
 // whether the σ-aware SDHEFT heuristic helps.
 type VariableULResult struct {
-	ConstCorr float64 // Pearson(E(M), σ_M) with constant UL
-	VarCorr   float64 // Pearson(E(M), σ_M) with per-task UL in [ULLo, ULHi]
-	ULLo      float64
-	ULHi      float64
+	ConstCorr float64 `json:"const_corr"` // Pearson(E(M), σ_M) with constant UL
+	VarCorr   float64 `json:"var_corr"`   // Pearson(E(M), σ_M) with per-task UL in [ULLo, ULHi]
+	ULLo      float64 `json:"ul_lo"`
+	ULHi      float64 `json:"ul_hi"`
 
 	// Heuristic comparison under the variable-UL scenario.
-	HEFTMakespan   float64
-	HEFTStd        float64
-	SDHEFTMakespan float64
-	SDHEFTStd      float64
-	Lambda         float64
+	HEFTMakespan   float64 `json:"heft_makespan"`
+	HEFTStd        float64 `json:"heft_std"`
+	SDHEFTMakespan float64 `json:"sdheft_makespan"`
+	SDHEFTStd      float64 `json:"sdheft_std"`
+	Lambda         float64 `json:"lambda"`
 
 	// Sweep reports SDHEFT across a λ ladder (λ = 0 is HEFT's cost
 	// model) so the makespan/robustness trade-off is visible.
-	Sweep []SDHEFTPoint
+	Sweep []SDHEFTPoint `json:"sweep"`
 
 	// Noisy-processor study: half the machines are stable
 	// (UL = 1.02), half noisy (UL = 2.0), with per-task means
 	// equalized so a mean-based heuristic cannot tell them apart.
-	NoisyHEFTMakespan   float64
-	NoisyHEFTStd        float64
-	NoisySDHEFTMakespan float64
-	NoisySDHEFTStd      float64
+	NoisyHEFTMakespan   float64 `json:"noisy_heft_makespan"`
+	NoisyHEFTStd        float64 `json:"noisy_heft_std"`
+	NoisySDHEFTMakespan float64 `json:"noisy_sdheft_makespan"`
+	NoisySDHEFTStd      float64 `json:"noisy_sdheft_std"`
 }
 
 // SDHEFTPoint is one λ of the SDHEFT sweep.
 type SDHEFTPoint struct {
-	Lambda   float64
-	Makespan float64
-	Std      float64
-	Differs  bool // schedule differs from HEFT's
+	Lambda   float64 `json:"lambda"`
+	Makespan float64 `json:"makespan"`
+	Std      float64 `json:"std"`
+	Differs  bool    `json:"differs"` // schedule differs from HEFT's
 }
 
 // runCorr draws schedules for a prepared scenario and returns

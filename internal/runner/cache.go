@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Cache is a disk-backed result store keyed by content hashes. It
+// makes sweeps resumable: a finished job's encoded result is written
+// under its key, and a rerun of the same sweep loads the stored bytes
+// instead of recomputing. Writes are atomic (temp file + rename), so
+// an interrupted run never leaves a truncated entry behind.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if necessary) a cache rooted at dir.
+// Temp files orphaned by interrupted writes are swept on open.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp-*")); err == nil {
+		for _, f := range stale {
+			// Age-gate the sweep: a live writer's temp file exists for
+			// milliseconds before its rename, so only files old enough
+			// to be orphans of a dead run are removed — never the
+			// in-flight writes of another process sharing the dir.
+			if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > time.Hour {
+				os.Remove(f)
+			}
+		}
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its file. Keys are hex digests, so they are safe
+// path components as-is.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get returns the stored bytes for key, with ok = false when the entry
+// does not exist.
+func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
+	data, err = os.ReadFile(c.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("runner: cache get: %w", err)
+	}
+	return data, true, nil
+}
+
+// Put stores data under key atomically.
+func (c *Cache) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("runner: cache put: %w", werr)
+		}
+		return fmt.Errorf("runner: cache put: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache put: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of entries currently stored.
+func (c *Cache) Len() (int, error) {
+	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(matches), nil
+}
+
+// Key derives a stable cache key from an ordered list of
+// JSON-encodable parts (typically a format-version tag, the job spec,
+// and the result-affecting configuration fields). Two jobs share a key
+// exactly when every part encodes identically.
+func Key(parts ...any) (string, error) {
+	h := sha256.New()
+	for _, p := range parts {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return "", fmt.Errorf("runner: cache key: %w", err)
+		}
+		h.Write(b)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,292 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryJob(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 100
+	var ran [n]int32
+	err := p.Batch(context.Background(), n, func(i int) error {
+		atomic.AddInt32(&ran[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ran {
+		if v != 1 {
+			t.Fatalf("job %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Errorf("Workers() = %d, want >= 1", p.Workers())
+	}
+}
+
+func TestPoolBatchReturnsFirstErrorByIndex(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	wantErr := errors.New("boom-3")
+	err := p.Batch(context.Background(), 10, func(i int) error {
+		if i == 3 {
+			return wantErr
+		}
+		if i == 7 {
+			return errors.New("boom-7")
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v (lowest failing index wins)", err, wantErr)
+	}
+}
+
+func TestPoolBatchAbortsSubmissionAfterFailure(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	wantErr := errors.New("boom-3")
+	var executed int32
+	err := p.Batch(context.Background(), 100000, func(i int) error {
+		atomic.AddInt32(&executed, 1)
+		if i == 3 {
+			return wantErr
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+	if n := atomic.LoadInt32(&executed); n == 100000 {
+		t.Error("batch drained fully despite an early failure")
+	}
+}
+
+func TestPoolSubmitCancelled(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	// Occupy the single worker so further submissions block.
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(context.Background(), func() { <-release; wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Drain the jobs channel's zero buffer: this submission blocks
+		// until cancel fires.
+		done <- p.Submit(ctx, func() {})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Submit did not unblock on cancellation")
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestPoolBatchCancellation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := p.Batch(ctx, 10000, func(i int) error {
+		atomic.AddInt32(&started, 1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Batch returned %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&started); n == 10000 {
+		t.Error("cancellation did not stop submission early")
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := Key("v1", map[string]int{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty cache = (ok=%v, err=%v)", ok, err)
+	}
+	want := []byte(`{"x": 1}`)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = (ok=%v, err=%v)", ok, err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+	// Overwrite is allowed and atomic.
+	if err := c.Put(key, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = c.Get(key)
+	if string(got) != "2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	// No temp files left behind.
+	tmps, _ := filepath.Glob(filepath.Join(c.Dir(), "*.tmp-*"))
+	if len(tmps) != 0 {
+		t.Errorf("leftover temp files: %v", tmps)
+	}
+}
+
+func TestCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenCache(""); err == nil {
+		t.Error("OpenCache(\"\") succeeded")
+	}
+}
+
+func TestCacheSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "c")
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("k")
+	if err := c1.Put(key, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c2.Get(key)
+	if err != nil || !ok || string(got) != "persisted" {
+		t.Fatalf("reopened Get = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestCacheIgnoresCorruptTempEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "c")
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key("k")
+	// A crash between CreateTemp and Rename leaves a *.tmp-* file that
+	// must not shadow the real entry.
+	if err := os.WriteFile(filepath.Join(dir, key+".tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("Get with only a temp file = (ok=%v, err=%v), want miss", ok, err)
+	}
+	// A fresh temp file (possibly another process's in-flight write)
+	// survives a reopen; an old orphan is swept.
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if live, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(live) != 1 {
+		t.Errorf("fresh temp file did not survive reopen: %v", live)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, key+".tmp-123"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, "*.tmp-*")); len(stale) != 0 {
+		t.Errorf("aged-out temp files survived reopen: %v", stale)
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	k1, err := Key("v1", struct{ A, B int }{1, 2}, 3.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key("v1", struct{ A, B int }{1, 2}, 3.5)
+	if k1 != k2 {
+		t.Error("identical parts gave different keys")
+	}
+	if len(k1) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(k1))
+	}
+	k3, _ := Key("v2", struct{ A, B int }{1, 2}, 3.5)
+	if k1 == k3 {
+		t.Error("version tag did not change the key")
+	}
+	k4, _ := Key("v1", struct{ A, B int }{1, 2}, 3.6)
+	if k1 == k4 {
+		t.Error("changed part did not change the key")
+	}
+	// Moving bytes across part boundaries must change the key.
+	ka, _ := Key("ab", "c")
+	kb, _ := Key("a", "bc")
+	if ka == kb {
+		t.Error("part boundaries are not separated")
+	}
+	if _, err := Key(func() {}); err == nil {
+		t.Error("unencodable part accepted")
+	}
+}
+
+func TestDeriveSeedDeterministicAndMixed(t *testing.T) {
+	a := DeriveSeed(1, "case-a")
+	if a != DeriveSeed(1, "case-a") {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	seen := map[int64]string{}
+	for base := int64(0); base < 4; base++ {
+		for i := 0; i < 8; i++ {
+			label := fmt.Sprintf("case-%d", i)
+			s := DeriveSeed(base, label)
+			id := fmt.Sprintf("%d/%s", base, label)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, id)
+			}
+			seen[s] = id
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// DeriveSeed deterministically derives a child RNG seed from a base
+// seed and a job label. The derivation is a pure function of its
+// inputs — independent of worker count, submission order, and wall
+// clock — so every job of a sweep gets a stable, well-mixed seed no
+// matter how the sweep is scheduled. Distinct labels give independent
+// seeds even for adjacent base seeds (unlike base+i arithmetic, which
+// makes neighbouring sweeps share most of their streams).
+func DeriveSeed(base int64, label string) int64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(base))
+	h := sha256.New()
+	h.Write(buf[:])
+	h.Write([]byte{0})
+	h.Write([]byte(label))
+	sum := h.Sum(nil)
+	return int64(binary.LittleEndian.Uint64(sum[:8]))
+}
