@@ -1,8 +1,9 @@
 package repro
 
 // One benchmark per table/figure of the paper (BenchmarkFig1..9), plus
-// micro-benchmarks and the ablation benches called out in DESIGN.md.
-// Run: go test -bench=. -benchmem
+// micro-benchmarks, ablation benches for the numeric substrate, and the
+// old-vs-new Monte-Carlo kernel comparison (BenchmarkRealizations*,
+// BenchmarkKernel*). Run: go test -bench=. -benchmem
 
 import (
 	"math/rand"
@@ -326,6 +327,70 @@ func BenchmarkMonteCarloParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.Realizations(10000, int64(i))
 	}
+}
+
+// --- Monte-Carlo kernel: old vs new ----------------------------------------
+//
+// The acceptance pair of the batch-kernel refactor, on the Fig. 3
+// Cholesky scenario: BenchmarkRealizationsLegacy is the per-sample
+// reference engine, BenchmarkKernel* the compiled batch kernel. Each
+// iteration draws benchMCCount realizations, so ns/op are directly
+// comparable; per-realization cost is reported as ns/real.
+
+const benchMCCount = 10000
+
+// benchSim builds the Fig. 3 Cholesky simulator the kernel benches
+// share.
+func benchSim(b *testing.B) *schedule.Simulator {
+	b.Helper()
+	scen := benchScenario(b)
+	s := RandomSchedule(scen, 5)
+	sim, err := schedule.NewSimulator(scen, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim
+}
+
+func reportPerRealization(b *testing.B) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/benchMCCount, "ns/real")
+}
+
+func BenchmarkRealizationsLegacy(b *testing.B) {
+	sim := benchSim(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Realizations(benchMCCount, int64(i))
+	}
+	reportPerRealization(b)
+}
+
+func benchKernel(b *testing.B, mode stochastic.SamplerMode) {
+	sim := benchSim(b)
+	k := sim.Compile(mode)
+	out := make([]float64, benchMCCount)
+	k.RealizationsInto(out, 0, schedule.KernelOptions{}) // warm the worker pool
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.RealizationsInto(out, int64(i), schedule.KernelOptions{})
+	}
+	reportPerRealization(b)
+}
+
+func BenchmarkKernelExact(b *testing.B) { benchKernel(b, stochastic.SamplerExact) }
+func BenchmarkKernelTable(b *testing.B) { benchKernel(b, stochastic.SamplerTable) }
+
+// BenchmarkKernelTableStats is the metric path: streaming moments and
+// histogram only, never materializing the sample slice.
+func BenchmarkKernelTableStats(b *testing.B) {
+	sim := benchSim(b)
+	k := sim.Compile(stochastic.SamplerTable)
+	k.Stats(benchMCCount, 0, 0, schedule.KernelOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Stats(benchMCCount, int64(i), 0, schedule.KernelOptions{})
+	}
+	reportPerRealization(b)
 }
 
 func BenchmarkMetrics(b *testing.B) {

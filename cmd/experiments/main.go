@@ -25,6 +25,13 @@
 //
 //	experiments [-fig 1|...|9|ul|osc|all] [-full] [-out DIR] [-seed N]
 //	            [-json] [-workers N] [-resume] [-cache-dir DIR]
+//	            [-sampler exact|table] [-mc-block N]
+//
+// -sampler selects the Monte-Carlo realization engine: "exact" keeps
+// the bit-stable reference stream, "table" switches the Beta samplers
+// to precomputed inverse-CDF tables (several times faster; -full
+// defaults to it since the 100 000-realization runs are
+// sampling-bound).
 package main
 
 import (
@@ -51,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	schedules := flag.Int("schedules", 0, "override random-schedule count per case")
 	mc := flag.Int("mc", 0, "override Monte-Carlo realization count")
+	sampler := flag.String("sampler", "", "Monte-Carlo sampler mode: exact (bit-stable) or table (fast); default exact, table at -full")
+	mcBlock := flag.Int("mc-block", 0, "Monte-Carlo kernel block size (realizations per batch; default 256)")
 	workers := flag.Int("workers", 0, "worker-pool size for case evaluations (default GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "write JSON reports (figN.json; CSV matrices beside case figures when -out is set)")
 	resume := flag.Bool("resume", false, "cache finished cases on disk and reuse them on rerun (default dir: .experiments-cache)")
@@ -67,6 +76,15 @@ func main() {
 	}
 	if *mc > 0 {
 		cfg.MCRealizations = *mc
+	}
+	if *sampler != "" {
+		cfg.MCSampler = *sampler
+	}
+	if *mcBlock > 0 {
+		cfg.MCBlockSize = *mcBlock
+	}
+	if err := cfg.ValidateMC(); err != nil {
+		log.Fatal(err)
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers

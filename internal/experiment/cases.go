@@ -7,7 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/graphgen"
 	"repro/internal/platform"
-	"repro/internal/runner"
+	"repro/internal/seeds"
 )
 
 // GraphKind selects a task-graph family from §V.
@@ -56,7 +56,7 @@ type CaseSpec struct {
 // submission order, so ad-hoc sweeps stay reproducible without
 // hand-numbering their cases.
 func (c CaseSpec) WithDerivedSeed(base int64) CaseSpec {
-	c.Seed = runner.DeriveSeed(base,
+	c.Seed = seeds.Derive(base,
 		fmt.Sprintf("%s/%s/n%d/m%d/ul%g", c.Name, c.Kind, c.N, c.M, c.UL))
 	return c
 }

@@ -8,7 +8,9 @@ package experiment
 import (
 	"runtime"
 
+	"repro/internal/makespan"
 	"repro/internal/robustness"
+	"repro/internal/stochastic"
 )
 
 // Config controls the scale of every driver. The zero value is not
@@ -21,6 +23,18 @@ type Config struct {
 	Seed           int64   // base RNG seed
 	Delta          float64 // absolute probabilistic half-width (paper: 0.1)
 	Gamma          float64 // relative probabilistic factor (paper: 1.0003)
+
+	// MCSampler selects the Monte-Carlo realization samplers: "exact"
+	// (or empty) for the bit-stable reference stream, "table" for the
+	// inverse-CDF Beta tables — several times faster, distributions
+	// identical within 1/stochastic.BetaTableSize in Kolmogorov
+	// distance.
+	MCSampler string
+	// MCBlockSize is the realizations-per-batch granularity of the
+	// kernel (schedule.DefaultBlockSize when <= 0). Each block owns
+	// one RNG stream, so changing it changes the drawn realizations
+	// (never their distribution).
+	MCBlockSize int
 }
 
 // DefaultConfig returns laptop-scale settings: every driver finishes in
@@ -40,10 +54,13 @@ func DefaultConfig() Config {
 }
 
 // PaperConfig returns the paper-scale settings (hours of compute).
+// At 100 000 realizations per schedule the Monte-Carlo cost dominates,
+// so paper scale selects the table samplers.
 func PaperConfig() Config {
 	c := DefaultConfig()
 	c.Schedules = 10000
 	c.MCRealizations = 100000
+	c.MCSampler = stochastic.SamplerTable.String()
 	return c
 }
 
@@ -58,6 +75,24 @@ func BenchConfig() Config {
 // params converts the config into metric parameters.
 func (c Config) params() robustness.Params {
 	return robustness.Params{Delta: c.Delta, Gamma: c.Gamma, GridSize: c.GridSize}
+}
+
+// mcOptions converts the config into Monte-Carlo kernel options. An
+// invalid MCSampler spelling is an error, never a silent fallback —
+// library callers get the same diagnostic the CLI's ValidateMC gives.
+func (c Config) mcOptions() (makespan.MCOptions, error) {
+	mode, err := stochastic.ParseSamplerMode(c.MCSampler)
+	if err != nil {
+		return makespan.MCOptions{}, err
+	}
+	return makespan.MCOptions{Sampler: mode, BlockSize: c.MCBlockSize, Workers: c.Workers}, nil
+}
+
+// ValidateMC checks the Monte-Carlo fields (currently the sampler-mode
+// spelling).
+func (c Config) ValidateMC() error {
+	_, err := stochastic.ParseSamplerMode(c.MCSampler)
+	return err
 }
 
 // workers returns the effective worker count.

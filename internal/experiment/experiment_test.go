@@ -2,11 +2,16 @@ package experiment
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 
 	"repro/internal/graphgen"
+	"repro/internal/heuristics"
+	"repro/internal/platform"
 	"repro/internal/robustness"
+	"repro/internal/schedule"
+	"repro/internal/stats"
 )
 
 // testConfig keeps unit tests fast.
@@ -345,6 +350,48 @@ func TestConfigHelpers(t *testing.T) {
 	}
 }
 
+func TestCaseCacheKeyCanonical(t *testing.T) {
+	spec := CaseSpec{Name: "k", Kind: RandomGraph, N: 10, M: 3, UL: 1.1, Seed: 7}
+	base := DefaultConfig()
+	ref, err := CaseCacheKey(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := base
+	explicit.MCSampler = "exact"
+	explicit.MCBlockSize = schedule.DefaultBlockSize
+	key, err := CaseCacheKey(spec, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != ref {
+		t.Error("spelling out the default sampler/block size must not change the cache key")
+	}
+	table := base
+	table.MCSampler = "table"
+	if key, err = CaseCacheKey(spec, table); err != nil {
+		t.Fatal(err)
+	} else if key == ref {
+		t.Error("different sampler modes must get different cache keys")
+	}
+	bad := base
+	bad.MCSampler = "Table"
+	if _, err := CaseCacheKey(spec, bad); err == nil {
+		t.Error("invalid sampler spelling must be an error, not a silent namespace")
+	}
+}
+
+func TestInvalidSamplerRejectedByFigures(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MCSampler = "typo"
+	if _, err := Fig1(cfg, []int{6}, 1); err == nil {
+		t.Error("Fig1 must reject an invalid sampler mode")
+	}
+	if _, err := Fig2(cfg); err == nil {
+		t.Error("Fig2 must reject an invalid sampler mode")
+	}
+}
+
 func TestWithDerivedSeed(t *testing.T) {
 	spec := CaseSpec{Name: "x", Kind: RandomGraph, N: 10, M: 3, UL: 1.1}
 	a, b := spec.WithDerivedSeed(1), spec.WithDerivedSeed(1)
@@ -423,5 +470,71 @@ func TestRunCaseSingleProcessor(t *testing.T) {
 		if math.Abs(m.AvgSlack) > 1e-6 {
 			t.Errorf("single-proc slack = %g, want 0", m.AvgSlack)
 		}
+	}
+}
+
+// A deterministic (UL = 1, Dirac-duration) join-graph case produces
+// constant metric columns — σ_M is 0 and both probabilistic metrics
+// are 1 for every schedule — so the Pearson matrix must carry NaN for
+// those pairs, and the Fig. 6 aggregation must skip (not propagate)
+// them while keeping the defined cells.
+func TestDiracJoinCaseConstantColumns(t *testing.T) {
+	const n, m = 6, 3
+	g := graphgen.Join(n+1, 0)
+	etc := make([][]float64, n+1)
+	for i := range etc {
+		etc[i] = make([]float64, m)
+		for j := range etc[i] {
+			etc[i][j] = 10 + float64(i%3) + 2*float64(j)
+		}
+	}
+	tau, lat := platform.NewUniformNetwork(m, 1, 0)
+	scen := &platform.Scenario{
+		G:  g,
+		P:  &platform.Platform{M: m, ETC: etc, Tau: tau, Lat: lat},
+		UL: 1, // every duration and arc is a Dirac
+	}
+	cfg := testConfig()
+	rng := rand.New(rand.NewSource(3))
+	scheds := heuristics.RandomSchedules(scen, 12, rng)
+	metrics := make([]robustness.Metrics, len(scheds))
+	for i, s := range scheds {
+		var err error
+		metrics[i], err = evaluateOne(scen, s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if metrics[i].StdDev != 0 {
+			t.Fatalf("Dirac case has σ_M = %g, want 0", metrics[i].StdDev)
+		}
+	}
+	corr, err := stats.CorrMatrix(InvertedColumns(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 1 is σ_M (constant 0): its off-diagonal entries are NaN.
+	if !math.IsNaN(corr[1][0]) || !math.IsNaN(corr[0][1]) {
+		t.Errorf("σ_M correlations = %g, want NaN", corr[1][0])
+	}
+	// Makespans differ across random schedules, so the E(M)/slack pair
+	// stays defined.
+	if math.IsNaN(corr[0][3]) {
+		t.Error("makespan vs slack should be defined")
+	}
+	// Aggregating this degenerate matrix with itself must not poison
+	// defined cells and must keep the undefined ones as NaN markers.
+	mean, std, err := stats.AggregateMatrices([][][]float64{corr, corr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(mean[1][0]) || !math.IsNaN(std[1][0]) {
+		t.Error("all-NaN cell should stay NaN after aggregation")
+	}
+	if math.IsNaN(mean[0][3]) {
+		t.Error("aggregation dropped a defined cell")
+	}
+	// The rendering paths must survive NaN cells.
+	if out := stats.FormatMatrix(robustness.MetricNames, mean, std); !strings.Contains(out, "n/a") {
+		t.Error("NaN cells should render as n/a")
 	}
 }

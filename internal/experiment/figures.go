@@ -34,6 +34,10 @@ type Fig1Row struct {
 // schedules of random graphs are evaluated both analytically and by
 // Monte Carlo, and the CDF distances are averaged.
 func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
+	mcOpts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
 	if len(sizes) == 0 {
 		sizes = []int{10, 30, 100}
 	}
@@ -68,7 +72,7 @@ func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			emp, err := makespan.MonteCarlo(scen, s, cfg.MCRealizations, spec.Seed+int64(k))
+			emp, err := makespan.MonteCarloWith(scen, s, cfg.MCRealizations, spec.Seed+int64(k), mcOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -100,6 +104,10 @@ type Fig2Result struct {
 // experimental distributions on a large case). The paper shows a
 // ~100-task graph where KS ≈ 0.17 yet the curves nearly coincide.
 func Fig2(cfg Config) (*Fig2Result, error) {
+	mcOpts, err := cfg.mcOptions()
+	if err != nil {
+		return nil, err
+	}
 	spec := Fig5Case(cfg.Seed + 999)
 	scen, err := spec.BuildScenario()
 	if err != nil {
@@ -111,7 +119,7 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	emp, err := makespan.MonteCarlo(scen, s, cfg.MCRealizations, cfg.Seed+5)
+	emp, err := makespan.MonteCarloWith(scen, s, cfg.MCRealizations, cfg.Seed+5, mcOpts)
 	if err != nil {
 		return nil, err
 	}

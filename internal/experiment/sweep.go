@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"repro/internal/runner"
+	"repro/internal/schedule"
+	"repro/internal/stochastic"
 )
 
 // RunOptions configures orchestrated case execution.
@@ -26,18 +28,35 @@ type RunOptions struct {
 
 // caseCacheVersion tags cache entries; bump it whenever the result
 // semantics or encoding of a case change.
-const caseCacheVersion = "repro/case/v1"
+const caseCacheVersion = "repro/case/v2"
 
 // CaseCacheKey derives the disk-cache key of a case: a hash of the
-// full spec and every configuration field that affects the result
-// (worker count and Monte-Carlo realizations do not).
+// full spec and every configuration field that can affect the result.
+// Worker count never does. The correlation cases are evaluated
+// analytically today, so the Monte-Carlo realization count stays out
+// of the key — but the sampler mode and block size are included, so
+// any future Monte-Carlo-backed case can never serve a stale entry
+// computed under a different realization stream. The Monte-Carlo
+// fields are hashed in canonical form ("" and "exact" name the same
+// sampler; block size <= 0 means schedule.DefaultBlockSize), so
+// spelling a default out explicitly never invalidates a cache.
 func CaseCacheKey(spec CaseSpec, cfg Config) (string, error) {
+	mode, err := stochastic.ParseSamplerMode(cfg.MCSampler)
+	if err != nil {
+		return "", err
+	}
+	blockSize := cfg.MCBlockSize
+	if blockSize <= 0 {
+		blockSize = schedule.DefaultBlockSize
+	}
 	return runner.Key(caseCacheVersion, spec, struct {
-		Schedules int
-		GridSize  int
-		Delta     float64
-		Gamma     float64
-	}{cfg.Schedules, cfg.GridSize, cfg.Delta, cfg.Gamma})
+		Schedules   int
+		GridSize    int
+		Delta       float64
+		Gamma       float64
+		MCSampler   string
+		MCBlockSize int
+	}{cfg.Schedules, cfg.GridSize, cfg.Delta, cfg.Gamma, mode.String(), blockSize})
 }
 
 // RunCases executes every spec concurrently on one shared worker

@@ -148,11 +148,9 @@ func EvaluateClassic(scen *platform.Scenario, s *schedule.Schedule, gridSize int
 
 // MonteCarlo draws count realizations of the schedule and returns the
 // empirical makespan distribution (the paper's ground truth with
-// count = 100 000).
+// count = 100 000). It runs the compiled batch kernel in exact mode,
+// which is bit-identical to the per-sample reference engine; use
+// MonteCarloWith to select the faster table samplers.
 func MonteCarlo(scen *platform.Scenario, s *schedule.Schedule, count int, seed int64) (*stochastic.Empirical, error) {
-	sim, err := schedule.NewSimulator(scen, s)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Empirical(count, seed), nil
+	return MonteCarloWith(scen, s, count, seed, MCOptions{})
 }

@@ -3,6 +3,7 @@ package makespan
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/dag"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/stochastic"
 )
 
 func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -331,5 +333,51 @@ func TestClassicOnRandomScheduleAgainstMC(t *testing.T) {
 	}
 	if !almostEqual(rv.StdDev(), emp.StdDev(), 0.35*emp.StdDev()) {
 		t.Errorf("classic std %g vs MC %g", rv.StdDev(), emp.StdDev())
+	}
+}
+
+// MonteCarlo (kernel, exact mode) must remain byte-identical to the
+// per-sample reference engine, and the table mode must agree in
+// distribution.
+func TestMonteCarloKernelModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graphgen.Cholesky(3, 10, 20, rng)
+	tau, lat := platform.NewUniformNetwork(3, 1, 0)
+	scen := &platform.Scenario{
+		G:  g,
+		P:  &platform.Platform{M: 3, ETC: platform.GenerateETCUniform(g.N(), 3, 10, 20, rng), Tau: tau, Lat: lat},
+		UL: 1.2,
+	}
+	s := heuristics.RandomSchedule(scen, rng)
+	sim, err := schedule.NewSimulator(scen, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Realizations(4000, 11)
+	sort.Float64s(want)
+	emp, err := MonteCarlo(scen, s, 4000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range emp.Sorted() {
+		if x != want[i] {
+			t.Fatalf("MonteCarlo diverges from the reference engine at %d", i)
+		}
+	}
+	fast, err := MonteCarloWith(scen, s, 4000, 11, MCOptions{Sampler: stochastic.SamplerTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(fast.Mean()-emp.Mean()) / emp.Mean(); d > 0.01 {
+		t.Errorf("table-mode mean off by %.3g%%", 100*d)
+	}
+	st, err := MonteCarloStats(scen, s, 4000, 11, MCOptions{Sampler: stochastic.SamplerTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Welford/block-merge summation order differs from the sorted
+	// sample sum, so agreement is to rounding, not bit-exact.
+	if st.Count() != 4000 || !almostEqual(st.Mean(), fast.Mean(), 1e-9*fast.Mean()) {
+		t.Errorf("streaming stats disagree with samples: %g vs %g", st.Mean(), fast.Mean())
 	}
 }

@@ -124,6 +124,29 @@ func FromSamples(scen *platform.Scenario, s *schedule.Schedule, emp *stochastic.
 	return m, nil
 }
 
+// FromKernelStats computes the metrics from the realization kernel's
+// streaming accumulator: the distribution-based metrics come from the
+// exact streaming moments and the fixed-range histogram, so
+// metric-only Monte-Carlo callers never materialize (or sort) the
+// full sample slice. Quantile-shaped quantities (lateness, the
+// probabilistic metrics, the entropy density) are histogram
+// estimates, accurate to the accumulator's bin width.
+func FromKernelStats(scen *platform.Scenario, s *schedule.Schedule, st *schedule.MCStats, p Params) (Metrics, error) {
+	var m Metrics
+	m.Makespan = st.Mean()
+	m.StdDev = st.StdDev()
+	m.Entropy = st.ToNumeric(p.GridSize).Entropy()
+	m.Lateness = st.LatenessAboveMean()
+	m.AbsProb = st.ProbWithin(m.Makespan-p.Delta, m.Makespan+p.Delta)
+	if p.Gamma > 0 {
+		m.RelProb = st.ProbWithin(m.Makespan/p.Gamma, m.Makespan*p.Gamma)
+	}
+	if err := fillSlack(scen, s, &m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
 // latenessOf computes E(M') − E(M) where M' is M conditioned on
 // exceeding its mean. The integrand is truncated at the mean, so the
 // tail integrals are evaluated on a fine spline-resampled grid over

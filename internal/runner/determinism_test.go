@@ -156,6 +156,20 @@ func TestCacheKeyDistinguishesConfigs(t *testing.T) {
 	if k1 == k4 {
 		t.Error("spec not part of the cache key")
 	}
+	// The Monte-Carlo kernel settings select a different realization
+	// stream, so they must invalidate cached entries.
+	mod = base
+	mod.MCSampler = "table"
+	k5, _ := experiment.CaseCacheKey(spec, mod)
+	if k1 == k5 {
+		t.Error("sampler mode not part of the cache key")
+	}
+	mod = base
+	mod.MCBlockSize = 1024
+	k6, _ := experiment.CaseCacheKey(spec, mod)
+	if k1 == k6 {
+		t.Error("MC block size not part of the cache key")
+	}
 }
 
 func TestRunCasesCancellation(t *testing.T) {

@@ -3,7 +3,6 @@ package runner
 import (
 	"context"
 	"errors"
-	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -269,24 +268,5 @@ func TestKeyStability(t *testing.T) {
 	}
 	if _, err := Key(func() {}); err == nil {
 		t.Error("unencodable part accepted")
-	}
-}
-
-func TestDeriveSeedDeterministicAndMixed(t *testing.T) {
-	a := DeriveSeed(1, "case-a")
-	if a != DeriveSeed(1, "case-a") {
-		t.Fatal("DeriveSeed is not deterministic")
-	}
-	seen := map[int64]string{}
-	for base := int64(0); base < 4; base++ {
-		for i := 0; i < 8; i++ {
-			label := fmt.Sprintf("case-%d", i)
-			s := DeriveSeed(base, label)
-			id := fmt.Sprintf("%d/%s", base, label)
-			if prev, dup := seen[s]; dup {
-				t.Fatalf("seed collision between %s and %s", prev, id)
-			}
-			seen[s] = id
-		}
 	}
 }

@@ -1,0 +1,654 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/numeric"
+	"repro/internal/stochastic"
+)
+
+// RealizationKernel is the schedule simulator compiled into a flat
+// batch program. Compilation resolves everything the per-sample engine
+// re-decides on every realization:
+//
+//   - the predecessor lists become CSR-style int32/float64 arrays, so
+//     the timing pass walks contiguous memory instead of a slice of
+//     structs of interfaces;
+//   - Dirac durations and arcs (deterministic tasks, co-located
+//     communications) are folded into constants, so the inner loop has
+//     zero type switches;
+//   - every stochastic duration/arc gets a slot in a
+//     structure-of-arrays sample block: the kernel samples all slots
+//     for a block of B realizations at once through
+//     stochastic.BatchSampler, then runs B branch-light timing passes
+//     over the block.
+//
+// Realizations are seeded per block exactly like
+// Simulator.Realizations, so the kernel's exact mode at
+// DefaultBlockSize is bit-identical to the legacy per-sample path,
+// and every mode is deterministic at any worker count.
+type RealizationKernel struct {
+	n    int
+	mode stochastic.SamplerMode
+
+	order    []int32
+	prevProc []int32
+
+	// CSR predecessor arrays indexed by task: the arcs of task t are
+	// predTask/predVal/predSlot[predStart[t]:predStart[t+1]].
+	predStart []int32
+	predTask  []int32
+	predVal   []float64 // constant arc weight when predSlot < 0
+	predSlot  []int32   // sample-block slot, -1 when constant
+
+	durVal  []float64 // constant duration when durSlot < 0
+	durSlot []int32
+
+	// samplers holds one batch sampler per stochastic slot, in the
+	// draw order of the per-sample engine (tasks in disjunctive
+	// topological order, each task's arcs before its duration), so
+	// exact-mode realization-major sampling consumes the RNG stream in
+	// the legacy order.
+	samplers []stochastic.BatchSampler
+	slotMin  []float64
+	slotMax  []float64
+
+	minMakespan float64
+	maxMakespan float64
+
+	workerPool sync.Pool // *kernelWorker, reused across Run calls
+}
+
+// KernelOptions tunes a kernel run. The zero value selects
+// DefaultBlockSize and GOMAXPROCS workers.
+type KernelOptions struct {
+	// BlockSize is the number of realizations sampled and timed per
+	// batch. Results depend on the block size (each block owns an RNG
+	// stream); DefaultBlockSize matches Simulator.Realizations.
+	BlockSize int
+	// Workers bounds the goroutines of a run; results are identical
+	// for every value.
+	Workers int
+}
+
+func (o KernelOptions) block() int {
+	if o.BlockSize > 0 {
+		return o.BlockSize
+	}
+	return DefaultBlockSize
+}
+
+func (o KernelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Compile builds the batch realization kernel for the simulator's
+// schedule. mode selects the samplers: SamplerExact reproduces the
+// per-sample engine bit-for-bit (at DefaultBlockSize), SamplerTable
+// swaps Beta durations/arcs for inverse-CDF table lookups — the fast
+// path for bulk Monte Carlo.
+func (sim *Simulator) Compile(mode stochastic.SamplerMode) *RealizationKernel {
+	n := len(sim.dur)
+	k := &RealizationKernel{
+		n:         n,
+		mode:      mode,
+		order:     make([]int32, len(sim.order)),
+		prevProc:  make([]int32, n),
+		predStart: make([]int32, n+1),
+		durVal:    make([]float64, n),
+		durSlot:   make([]int32, n),
+	}
+	for i, t := range sim.order {
+		k.order[i] = int32(t)
+	}
+	for t := 0; t < n; t++ {
+		k.prevProc[t] = int32(sim.prevProc[t])
+		k.predStart[t+1] = k.predStart[t] + int32(len(sim.preds[t]))
+	}
+	nArcs := int(k.predStart[n])
+	k.predTask = make([]int32, nArcs)
+	k.predVal = make([]float64, nArcs)
+	k.predSlot = make([]int32, nArcs)
+
+	// Slots are allocated in legacy draw order: walk tasks in the
+	// disjunctive topological order, arcs before the task's own
+	// duration.
+	addSlot := func(d stochastic.Dist, lo, hi float64) int32 {
+		k.samplers = append(k.samplers, stochastic.NewBatchSampler(d, mode))
+		k.slotMin = append(k.slotMin, lo)
+		k.slotMax = append(k.slotMax, hi)
+		return int32(len(k.samplers) - 1)
+	}
+	for _, t := range sim.order {
+		base := k.predStart[t]
+		for i := range sim.preds[t] {
+			pi := &sim.preds[t][i]
+			j := base + int32(i)
+			k.predTask[j] = int32(pi.pred)
+			if _, isPoint := pi.comm.(stochastic.Dirac); isPoint {
+				k.predVal[j] = pi.min
+				k.predSlot[j] = -1
+			} else {
+				k.predSlot[j] = addSlot(pi.comm, pi.min, pi.max)
+			}
+		}
+		if _, isPoint := sim.dur[t].(stochastic.Dirac); isPoint {
+			k.durVal[t] = sim.durMin[t]
+			k.durSlot[t] = -1
+		} else {
+			k.durSlot[t] = addSlot(sim.dur[t], sim.durMin[t], sim.durMax[t])
+		}
+	}
+	k.minMakespan = sim.MinTiming().Makespan
+	k.maxMakespan = sim.MaxTiming().Makespan
+	return k
+}
+
+// Mode returns the sampler mode the kernel was compiled with.
+func (k *RealizationKernel) Mode() stochastic.SamplerMode { return k.mode }
+
+// Slots returns the number of stochastic sample slots per realization
+// (zero for a fully deterministic schedule).
+func (k *RealizationKernel) Slots() int { return len(k.samplers) }
+
+// Bounds returns the support of the makespan as reported by the
+// distributions: the timings with every duration at the bottom and
+// the top of its Support(). For the paper's bounded models (Beta,
+// Uniform, Dirac) this is exact; distributions whose Support() is a
+// heuristic truncation of an unbounded tail (Normal, LogNormal,
+// Exponential, Gamma) can rarely sample past it, in which case the
+// streaming histogram clamps the draw into its edge bin while Min and
+// Max still report the true observed extremes.
+func (k *RealizationKernel) Bounds() (lo, hi float64) {
+	return k.minMakespan, k.maxMakespan
+}
+
+// kernelWorker is the reusable per-goroutine state of a run: one RNG
+// (reseeded per block), the structure-of-arrays sample block, and the
+// finish vector of the timing pass. Workers are pooled on the kernel,
+// so steady-state runs do not allocate per realization or per call.
+type kernelWorker struct {
+	rng    *rand.Rand
+	block  []float64
+	finish []float64
+}
+
+func (k *RealizationKernel) getWorker(blockLen int) *kernelWorker {
+	w, _ := k.workerPool.Get().(*kernelWorker)
+	if w == nil {
+		w = &kernelWorker{rng: rand.New(rand.NewSource(0))}
+	}
+	if need := len(k.samplers) * blockLen; cap(w.block) < need {
+		w.block = make([]float64, need)
+	}
+	if cap(w.finish) < k.n {
+		w.finish = make([]float64, k.n)
+	}
+	return w
+}
+
+// sampleBlock fills the structure-of-arrays block with m realizations
+// worth of variates. Batch modes sample slot-major (each sampler
+// amortizes over the whole block); exact mode samples
+// realization-major so the RNG stream matches the per-sample engine.
+func (k *RealizationKernel) sampleBlock(w *kernelWorker, m int) {
+	buf := w.block
+	if k.mode == stochastic.SamplerExact {
+		for r := 0; r < m; r++ {
+			for s := range k.samplers {
+				off := s*m + r
+				k.samplers[s].SampleN(buf[off:off+1], w.rng)
+			}
+		}
+		return
+	}
+	for s := range k.samplers {
+		k.samplers[s].SampleN(buf[s*m:(s+1)*m], w.rng)
+	}
+}
+
+// pass runs one branch-light timing pass over realization r of an
+// m-realization block and returns its makespan. The arithmetic
+// mirrors Simulator.timing exactly (same operations, same order), so
+// identical samples produce bit-identical makespans.
+func (k *RealizationKernel) pass(w *kernelWorker, r, m int) float64 {
+	buf := w.block
+	finish := w.finish
+	var makespan float64
+	for _, t := range k.order {
+		st := 0.0
+		if p := k.prevProc[t]; p >= 0 {
+			st = finish[p]
+		}
+		for j := k.predStart[t]; j < k.predStart[t+1]; j++ {
+			c := k.predVal[j]
+			if s := k.predSlot[j]; s >= 0 {
+				c = buf[int(s)*m+r]
+			}
+			if arr := finish[k.predTask[j]] + c; arr > st {
+				st = arr
+			}
+		}
+		d := k.durVal[t]
+		if s := k.durSlot[t]; s >= 0 {
+			d = buf[int(s)*m+r]
+		}
+		f := st + d
+		finish[t] = f
+		if f > makespan {
+			makespan = f
+		}
+	}
+	return makespan
+}
+
+// run streams every block of a count-realization job through perBlock,
+// fanning whole blocks out over the option's workers. perBlock is
+// called concurrently with the block index and the block's makespans
+// (valid only during the call).
+func (k *RealizationKernel) run(count int, seed int64, opt KernelOptions, perBlock func(kb int, lo int, ms []float64)) {
+	if count <= 0 {
+		return
+	}
+	block := opt.block()
+	bs := blockSeeds(count, block, seed)
+	workers := opt.workers()
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	var next int64
+	runWorker := func() {
+		w := k.getWorker(block)
+		defer k.workerPool.Put(w)
+		ms := make([]float64, block)
+		for {
+			kb := int(atomic.AddInt64(&next, 1)) - 1
+			if kb >= len(bs) {
+				return
+			}
+			lo := kb * block
+			m := block
+			if lo+m > count {
+				m = count - lo
+			}
+			w.rng.Seed(bs[kb])
+			k.sampleBlock(w, m)
+			for r := 0; r < m; r++ {
+				ms[r] = k.pass(w, r, m)
+			}
+			perBlock(kb, lo, ms[:m])
+		}
+	}
+	if workers <= 1 {
+		runWorker()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker()
+		}()
+	}
+	wg.Wait()
+}
+
+// Realizations draws count makespan realizations. Deterministic for a
+// fixed (count, seed, block size, mode) at any worker count; in exact
+// mode at DefaultBlockSize it is bit-identical to
+// Simulator.Realizations.
+func (k *RealizationKernel) Realizations(count int, seed int64, opt KernelOptions) []float64 {
+	out := make([]float64, count)
+	k.RealizationsInto(out, seed, opt)
+	return out
+}
+
+// RealizationsInto is Realizations writing into a caller-owned slice,
+// for steady-state loops that want zero per-call sample allocations.
+func (k *RealizationKernel) RealizationsInto(out []float64, seed int64, opt KernelOptions) {
+	k.run(len(out), seed, opt, func(_, lo int, ms []float64) {
+		copy(out[lo:], ms)
+	})
+}
+
+// Empirical draws count realizations and wraps them as an empirical
+// distribution.
+func (k *RealizationKernel) Empirical(count int, seed int64, opt KernelOptions) *stochastic.Empirical {
+	return stochastic.NewEmpirical(k.Realizations(count, seed, opt))
+}
+
+// DefaultHistBins is the histogram resolution of streaming statistics:
+// fine enough that rebinning to the paper's 64-point metric grid is
+// exact to the bin, coarse enough to stay cache-resident.
+const DefaultHistBins = 2048
+
+// MCStats accumulates makespan realizations block by block: exact
+// streaming moments plus a fixed-range histogram over the schedule's
+// analytic makespan support. Metric-only callers get means, standard
+// deviations, quantiles and tail expectations without ever
+// materializing the full sample slice. All merges happen in block
+// order, so the result is deterministic at any worker count.
+type MCStats struct {
+	mcMoments
+
+	lo, hi float64 // histogram range (analytic makespan support)
+	bins   []int64
+}
+
+// newMCStats builds an empty accumulator over [lo, hi].
+func newMCStats(lo, hi float64, bins int) *MCStats {
+	if bins <= 0 {
+		bins = DefaultHistBins
+	}
+	return &MCStats{
+		mcMoments: newMCMoments(),
+		lo:        lo, hi: hi,
+		bins: make([]int64, bins),
+	}
+}
+
+// mcMoments is the streaming moment state, both the per-block partial
+// and (embedded in MCStats) the running total. Partials are tiny (one
+// struct per block) and merged in block order, so the floating-point
+// moment sums are identical at any worker count.
+type mcMoments struct {
+	count    int
+	mean, m2 float64
+	min, max float64
+}
+
+// newMCMoments returns an empty partial.
+func newMCMoments() mcMoments {
+	return mcMoments{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// observe folds ms into the partial with Welford's exact one-pass
+// update.
+func (p *mcMoments) observe(ms []float64) {
+	for _, x := range ms {
+		p.count++
+		d := x - p.mean
+		p.mean += d / float64(p.count)
+		p.m2 += d * (x - p.mean)
+		if x < p.min {
+			p.min = x
+		}
+		if x > p.max {
+			p.max = x
+		}
+	}
+}
+
+// merge folds a partial into st (Chan et al. pairwise merge); callers
+// must merge in block order for cross-worker determinism.
+func (st *mcMoments) merge(p mcMoments) {
+	if p.count == 0 {
+		return
+	}
+	if st.count == 0 {
+		st.count, st.mean, st.m2 = p.count, p.mean, p.m2
+	} else {
+		na, nb := float64(st.count), float64(p.count)
+		d := p.mean - st.mean
+		n := na + nb
+		st.mean += d * nb / n
+		st.m2 += p.m2 + d*d*na*nb/n
+		st.count += p.count
+	}
+	if p.min < st.min {
+		st.min = p.min
+	}
+	if p.max > st.max {
+		st.max = p.max
+	}
+}
+
+// binAll histograms ms into the accumulator's fixed-range bins.
+// Integer counts commute, so concurrent blocks may bin in any order
+// (under the caller's lock) without affecting the result.
+func (st *MCStats) binAll(ms []float64) {
+	scale := 0.0
+	if st.hi > st.lo {
+		scale = float64(len(st.bins)) / (st.hi - st.lo)
+	}
+	top := len(st.bins) - 1
+	for _, x := range ms {
+		b := int((x - st.lo) * scale)
+		if b < 0 {
+			b = 0
+		}
+		if b > top {
+			b = top
+		}
+		st.bins[b]++
+	}
+}
+
+// Count returns the number of accumulated realizations.
+func (st *MCStats) Count() int { return st.count }
+
+// Mean returns the sample mean.
+func (st *MCStats) Mean() float64 { return st.mean }
+
+// Variance returns the population sample variance.
+func (st *MCStats) Variance() float64 {
+	if st.count == 0 {
+		return 0
+	}
+	return st.m2 / float64(st.count)
+}
+
+// StdDev returns the sample standard deviation.
+func (st *MCStats) StdDev() float64 { return math.Sqrt(st.Variance()) }
+
+// Min returns the smallest observed makespan (0 when empty).
+func (st *MCStats) Min() float64 {
+	if st.count == 0 {
+		return 0
+	}
+	return st.min
+}
+
+// Max returns the largest observed makespan (0 when empty).
+func (st *MCStats) Max() float64 {
+	if st.count == 0 {
+		return 0
+	}
+	return st.max
+}
+
+// binWidth returns the histogram cell width.
+func (st *MCStats) binWidth() float64 {
+	return (st.hi - st.lo) / float64(len(st.bins))
+}
+
+// CDFAt returns the histogram estimate of P(M <= x), interpolating
+// linearly inside the cell containing x.
+func (st *MCStats) CDFAt(x float64) float64 {
+	if st.count == 0 {
+		return 0
+	}
+	if x < st.lo {
+		return 0
+	}
+	if x >= st.hi {
+		return 1
+	}
+	w := st.binWidth()
+	if w <= 0 {
+		return 1
+	}
+	pos := (x - st.lo) / w
+	cell := int(pos)
+	if cell >= len(st.bins) {
+		cell = len(st.bins) - 1
+	}
+	var below int64
+	for i := 0; i < cell; i++ {
+		below += st.bins[i]
+	}
+	frac := pos - float64(cell)
+	return (float64(below) + frac*float64(st.bins[cell])) / float64(st.count)
+}
+
+// ProbWithin returns the histogram estimate of P(lo <= M <= hi).
+func (st *MCStats) ProbWithin(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	v := st.CDFAt(hi) - st.CDFAt(lo)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Quantile returns the histogram estimate of the p-quantile.
+func (st *MCStats) Quantile(p float64) float64 {
+	if st.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return st.Min()
+	}
+	if p >= 1 {
+		return st.Max()
+	}
+	target := p * float64(st.count)
+	var cum float64
+	w := st.binWidth()
+	for i, c := range st.bins {
+		next := cum + float64(c)
+		if next >= target {
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return st.lo + (float64(i)+frac)*w
+		}
+		cum = next
+	}
+	return st.Max()
+}
+
+// LatenessAboveMean returns the histogram estimate of
+// E[M | M > E(M)] − E(M), the paper's average-lateness metric,
+// evaluated at cell midpoints with the boundary cell split linearly.
+func (st *MCStats) LatenessAboveMean() float64 {
+	if st.count == 0 {
+		return 0
+	}
+	mu := st.mean
+	w := st.binWidth()
+	if w <= 0 {
+		return 0
+	}
+	var mass, moment float64
+	for i, c := range st.bins {
+		if c == 0 {
+			continue
+		}
+		left := st.lo + float64(i)*w
+		right := left + w
+		if right <= mu {
+			continue
+		}
+		frac := 1.0
+		lo := left
+		if left < mu {
+			frac = (right - mu) / w
+			lo = mu
+		}
+		m := float64(c) * frac
+		mass += m
+		moment += m * (lo + right) / 2
+	}
+	if mass == 0 {
+		return 0
+	}
+	return moment/mass - mu
+}
+
+// ToNumeric converts the histogram into a grid-PDF random variable
+// with the given grid size (the entropy path of the robustness
+// metrics), mirroring Empirical.ToNumeric's smoothing.
+func (st *MCStats) ToNumeric(gridSize int) *stochastic.Numeric {
+	if gridSize <= 0 {
+		gridSize = stochastic.DefaultGridSize
+	}
+	if st.count == 0 {
+		return stochastic.NewPoint(0)
+	}
+	lo, hi := st.Min(), st.Max()
+	if hi <= lo {
+		return stochastic.NewPoint(lo)
+	}
+	// Rebin the histogram onto a gridSize-point density over the
+	// observed range, assigning each source cell's count to the grid
+	// knot nearest its center (the source bins are much finer than
+	// the grid, so at most a knot's worth of mass aliases).
+	pdf := make([]float64, gridSize)
+	w := st.binWidth()
+	gw := (hi - lo) / float64(gridSize-1)
+	for i, c := range st.bins {
+		if c == 0 {
+			continue
+		}
+		center := st.lo + (float64(i)+0.5)*w
+		b := int((center-lo)/gw + 0.5)
+		if b < 0 {
+			b = 0
+		}
+		if b >= gridSize {
+			b = gridSize - 1
+		}
+		pdf[b] += float64(c)
+	}
+	// Same 3-point smoothing Empirical.ToNumeric applies to its
+	// histogram before normalizing.
+	rv, err := stochastic.FromPDF(lo, hi, numeric.MovingAverage(pdf, 1))
+	if err != nil {
+		return stochastic.NewPoint(lo)
+	}
+	return rv
+}
+
+// Stats streams count realizations into an MCStats accumulator without
+// materializing the sample slice: per-block partial accumulators are
+// computed in parallel and merged in block order, so the result is
+// deterministic at any worker count. histBins <= 0 selects
+// DefaultHistBins.
+func (k *RealizationKernel) Stats(count int, seed int64, histBins int, opt KernelOptions) *MCStats {
+	lo, hi := k.Bounds()
+	total := newMCStats(lo, hi, histBins)
+	if count <= 0 {
+		return total
+	}
+	block := opt.block()
+	nb := (count + block - 1) / block
+	parts := make([]mcMoments, nb)
+	var histMu sync.Mutex
+	k.run(count, seed, opt, func(kb, _ int, ms []float64) {
+		p := newMCMoments()
+		p.observe(ms)
+		parts[kb] = p
+		histMu.Lock()
+		total.binAll(ms)
+		histMu.Unlock()
+	})
+	for _, p := range parts {
+		total.merge(p)
+	}
+	return total
+}

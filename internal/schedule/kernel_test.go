@@ -1,0 +1,233 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/platform"
+	"repro/internal/stochastic"
+)
+
+// randomSimulator builds a moderately sized random-scenario simulator
+// with stochastic durations and cross-processor arcs.
+func randomSimulator(t *testing.T, n, m int, ul float64, seed int64) *Simulator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, w := graphgen.Random(graphgen.DefaultRandomParams(n), rng)
+	tau, lat := platform.NewUniformNetwork(m, 1, 0)
+	p := &platform.Platform{
+		M:   m,
+		ETC: platform.GenerateETCFromWeights(w, m, 0.5, rng),
+		Tau: tau,
+		Lat: lat,
+	}
+	scen := &platform.Scenario{G: g, P: p, UL: ul}
+	s := New(n, m)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range order {
+		s.Assign(task, rng.Intn(m))
+	}
+	sim, err := NewSimulator(scen, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// The kernel's exact mode at the default block size must reproduce the
+// per-sample engine bit for bit.
+func TestKernelExactBitIdenticalToLegacy(t *testing.T) {
+	sim := randomSimulator(t, 25, 4, 1.3, 3)
+	k := sim.Compile(stochastic.SamplerExact)
+	for _, count := range []int{1, 100, DefaultBlockSize, 3000} {
+		legacy := sim.Realizations(count, 42)
+		got := k.Realizations(count, 42, KernelOptions{})
+		for i := range legacy {
+			if got[i] != legacy[i] {
+				t.Fatalf("count %d: realization %d = %v, legacy %v (not bit-identical)",
+					count, i, got[i], legacy[i])
+			}
+		}
+	}
+}
+
+// Every mode must be deterministic at any worker count and block
+// assignment.
+func TestKernelDeterministicAcrossWorkers(t *testing.T) {
+	sim := randomSimulator(t, 20, 3, 1.4, 5)
+	for _, mode := range []stochastic.SamplerMode{stochastic.SamplerExact, stochastic.SamplerTable} {
+		k := sim.Compile(mode)
+		base := k.Realizations(4000, 9, KernelOptions{Workers: 1})
+		for _, workers := range []int{2, 4, 8} {
+			got := k.Realizations(4000, 9, KernelOptions{Workers: workers})
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("mode %v: workers=%d diverges at %d", mode, workers, i)
+				}
+			}
+		}
+		s1 := k.Stats(4000, 9, 0, KernelOptions{Workers: 1})
+		s8 := k.Stats(4000, 9, 0, KernelOptions{Workers: 8})
+		if s1.Mean() != s8.Mean() || s1.StdDev() != s8.StdDev() ||
+			s1.Min() != s8.Min() || s1.Max() != s8.Max() {
+			t.Fatalf("mode %v: streaming stats depend on worker count", mode)
+		}
+	}
+}
+
+// Table mode is a different (approximate) sampler, so it cannot be
+// bit-identical — but its distribution must match the legacy engine's
+// within Monte-Carlo tolerance at every block size: close moments and
+// a small two-sample KS distance.
+func TestKernelTableMatchesLegacyDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical comparison")
+	}
+	sim := randomSimulator(t, 25, 4, 1.3, 7)
+	const count = 60000
+	legacy := stochastic.NewEmpirical(sim.Realizations(count, 11))
+	k := sim.Compile(stochastic.SamplerTable)
+	for _, block := range []int{64, DefaultBlockSize, 1024} {
+		emp := k.Empirical(count, 13, KernelOptions{BlockSize: block})
+		relMean := math.Abs(emp.Mean()-legacy.Mean()) / legacy.Mean()
+		if relMean > 0.005 {
+			t.Errorf("block %d: mean off by %.3g%%", block, 100*relMean)
+		}
+		relStd := math.Abs(emp.StdDev()-legacy.StdDev()) / legacy.StdDev()
+		if relStd > 0.05 {
+			t.Errorf("block %d: stddev off by %.3g%%", block, 100*relStd)
+		}
+		// Two-sample KS over the pooled support; noise floor for two
+		// 60k samples is ~0.008.
+		var ks float64
+		for _, q := range []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+			x := legacy.Quantile(q)
+			if d := math.Abs(emp.CDFAt(x) - legacy.CDFAt(x)); d > ks {
+				ks = d
+			}
+			x = emp.Quantile(q)
+			if d := math.Abs(emp.CDFAt(x) - legacy.CDFAt(x)); d > ks {
+				ks = d
+			}
+		}
+		if ks > 0.015 {
+			t.Errorf("block %d: KS distance %g between table and legacy", block, ks)
+		}
+	}
+}
+
+// All realizations must stay inside the kernel's analytic makespan
+// bounds, and the bounds must match the simulator's extreme timings.
+func TestKernelBounds(t *testing.T) {
+	sim := randomSimulator(t, 15, 3, 1.5, 17)
+	k := sim.Compile(stochastic.SamplerTable)
+	lo, hi := k.Bounds()
+	if want := sim.MinTiming().Makespan; lo != want {
+		t.Fatalf("lower bound %g, want %g", lo, want)
+	}
+	if want := sim.MaxTiming().Makespan; hi != want {
+		t.Fatalf("upper bound %g, want %g", hi, want)
+	}
+	if hi <= lo {
+		t.Fatalf("degenerate bounds [%g, %g]", lo, hi)
+	}
+	for _, ms := range k.Realizations(5000, 3, KernelOptions{}) {
+		if ms < lo-1e-9 || ms > hi+1e-9 {
+			t.Fatalf("realization %g outside [%g, %g]", ms, lo, hi)
+		}
+	}
+}
+
+// A deterministic scenario (UL = 1) compiles to a kernel with zero
+// stochastic slots whose every realization is the deterministic
+// makespan.
+func TestKernelFullyDeterministicSchedule(t *testing.T) {
+	scen := chainScenario(1)
+	s := New(3, 2)
+	s.Assign(0, 1)
+	s.Assign(1, 0)
+	s.Assign(2, 1)
+	sim, err := NewSimulator(scen, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.Compile(stochastic.SamplerTable)
+	if k.Slots() != 0 {
+		t.Fatalf("deterministic schedule compiled to %d slots", k.Slots())
+	}
+	want := sim.MinTiming().Makespan
+	for _, ms := range k.Realizations(100, 1, KernelOptions{}) {
+		if ms != want {
+			t.Fatalf("deterministic realization %g, want %g", ms, want)
+		}
+	}
+	st := k.Stats(100, 1, 0, KernelOptions{})
+	if st.Mean() != want || st.StdDev() != 0 {
+		t.Fatalf("stats mean %g std %g, want %g and 0", st.Mean(), st.StdDev(), want)
+	}
+}
+
+// Streaming statistics must agree with the materialized sample slice:
+// moments exactly (same merge order), histogram estimates within a
+// bin width.
+func TestKernelStatsMatchSamples(t *testing.T) {
+	sim := randomSimulator(t, 20, 3, 1.4, 23)
+	k := sim.Compile(stochastic.SamplerTable)
+	const count = 20000
+	samples := k.Realizations(count, 31, KernelOptions{})
+	emp := stochastic.NewEmpirical(samples)
+	st := k.Stats(count, 31, 0, KernelOptions{})
+	if st.Count() != count {
+		t.Fatalf("count %d", st.Count())
+	}
+	if math.Abs(st.Mean()-emp.Mean()) > 1e-9*emp.Mean() {
+		t.Errorf("streaming mean %g, sample mean %g", st.Mean(), emp.Mean())
+	}
+	if math.Abs(st.StdDev()-emp.StdDev()) > 1e-6*emp.StdDev() {
+		t.Errorf("streaming stddev %g, sample stddev %g", st.StdDev(), emp.StdDev())
+	}
+	if st.Min() != emp.Min() || st.Max() != emp.Max() {
+		t.Errorf("streaming range [%g,%g], sample range [%g,%g]",
+			st.Min(), st.Max(), emp.Min(), emp.Max())
+	}
+	lo, hi := k.Bounds()
+	binW := (hi - lo) / DefaultHistBins
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if d := math.Abs(st.Quantile(p) - emp.Quantile(p)); d > 2*binW {
+			t.Errorf("quantile %g: streaming %g vs sample %g (> 2 bins)", p, st.Quantile(p), emp.Quantile(p))
+		}
+	}
+	mu := emp.Mean()
+	if d := math.Abs(st.ProbWithin(mu-1, mu+1) - emp.ProbWithin(mu-1, mu+1)); d > 0.01 {
+		t.Errorf("ProbWithin differs by %g", d)
+	}
+	if d := math.Abs(st.LatenessAboveMean() - emp.LatenessAboveMean()); d > 2*binW {
+		t.Errorf("lateness: streaming %g vs sample %g", st.LatenessAboveMean(), emp.LatenessAboveMean())
+	}
+	if st.ToNumeric(64).IsPoint() {
+		t.Error("histogram density collapsed to a point")
+	}
+}
+
+// RealizationsInto must not allocate per realization once the worker
+// pool is warm.
+func TestKernelSteadyStateAllocations(t *testing.T) {
+	sim := randomSimulator(t, 20, 3, 1.3, 29)
+	k := sim.Compile(stochastic.SamplerTable)
+	out := make([]float64, 4096)
+	opt := KernelOptions{Workers: 1}
+	k.RealizationsInto(out, 1, opt) // warm the pool
+	allocs := testing.AllocsPerRun(5, func() {
+		k.RealizationsInto(out, 2, opt)
+	})
+	// Per call: the block-seed slice and small scheduling state — far
+	// below one allocation per realization (4096 realizations/call).
+	if allocs > 8 {
+		t.Errorf("RealizationsInto allocates %g times per 4096 realizations", allocs)
+	}
+}

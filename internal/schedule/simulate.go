@@ -4,9 +4,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/seeds"
 	"repro/internal/stochastic"
 )
 
@@ -24,6 +26,7 @@ type predInfo struct {
 	comm stochastic.Dist // Dirac(0) for co-located tasks
 	mean float64
 	min  float64
+	max  float64
 }
 
 // Simulator evaluates one schedule repeatedly: it freezes the
@@ -31,6 +34,10 @@ type predInfo struct {
 // distributions so that each realization is a single O(V+E) pass with
 // only the sampling as per-iteration work. This is the engine behind
 // the paper's 100 000-realization ground-truth distributions.
+//
+// Simulator is the per-sample reference engine; Compile builds the
+// batch kernel that runs the same realizations without per-sample
+// interface dispatch.
 type Simulator struct {
 	scen     *platform.Scenario
 	sched    *Schedule
@@ -39,7 +46,16 @@ type Simulator struct {
 	dur      []stochastic.Dist
 	durMean  []float64
 	durMin   []float64
+	durMax   []float64
 	preds    [][]predInfo
+
+	// The deterministic timings are immutable per simulator, so they
+	// are computed once on first use instead of allocating fresh
+	// start/finish vectors on every call.
+	minOnce, meanOnce, maxOnce sync.Once
+	minTiming                  Timing
+	meanTiming                 Timing
+	maxTiming                  Timing
 }
 
 // NewSimulator validates the schedule against the scenario's graph and
@@ -65,6 +81,7 @@ func NewSimulator(scen *platform.Scenario, s *Schedule) (*Simulator, error) {
 		dur:      make([]stochastic.Dist, n),
 		durMean:  make([]float64, n),
 		durMin:   make([]float64, n),
+		durMax:   make([]float64, n),
 		preds:    make([][]predInfo, n),
 	}
 	for t := 0; t < n; t++ {
@@ -72,12 +89,12 @@ func NewSimulator(scen *platform.Scenario, s *Schedule) (*Simulator, error) {
 		d := scen.TaskDist(task, s.Proc[t])
 		sim.dur[t] = d
 		sim.durMean[t] = d.Mean()
-		sim.durMin[t], _ = d.Support()
+		sim.durMin[t], sim.durMax[t] = d.Support()
 		for _, p := range scen.G.Pred(task) {
 			cd := scen.CommDist(p, task, s.Proc[p], s.Proc[t])
-			min, _ := cd.Support()
+			min, max := cd.Support()
 			sim.preds[t] = append(sim.preds[t], predInfo{
-				pred: p, comm: cd, mean: cd.Mean(), min: min,
+				pred: p, comm: cd, mean: cd.Mean(), min: min, max: max,
 			})
 		}
 	}
@@ -97,6 +114,7 @@ type durationKind int
 const (
 	durMin durationKind = iota
 	durMean
+	durMax
 	durSample
 )
 
@@ -125,6 +143,8 @@ func (sim *Simulator) timing(kind durationKind, rng *rand.Rand, buf []float64) T
 				c = pi.min
 			case durMean:
 				c = pi.mean
+			case durMax:
+				c = pi.max
 			default:
 				if _, isPoint := pi.comm.(stochastic.Dirac); isPoint {
 					c = pi.min
@@ -143,6 +163,8 @@ func (sim *Simulator) timing(kind durationKind, rng *rand.Rand, buf []float64) T
 			d = sim.durMin[t]
 		case durMean:
 			d = sim.durMean[t]
+		case durMax:
+			d = sim.durMax[t]
 		default:
 			if _, isPoint := sim.dur[t].(stochastic.Dirac); isPoint {
 				d = sim.durMin[t]
@@ -160,12 +182,31 @@ func (sim *Simulator) timing(kind durationKind, rng *rand.Rand, buf []float64) T
 }
 
 // MinTiming executes the schedule with every duration at its minimum
-// (the deterministic base case).
-func (sim *Simulator) MinTiming() Timing { return sim.timing(durMin, nil, nil) }
+// (the deterministic base case). The timing is computed once and
+// cached; treat the returned vectors as read-only.
+func (sim *Simulator) MinTiming() Timing {
+	sim.minOnce.Do(func() { sim.minTiming = sim.timing(durMin, nil, nil) })
+	return sim.minTiming
+}
 
 // MeanTiming executes the schedule with every duration at its mean;
-// this is the approximation the paper uses for the slack metrics.
-func (sim *Simulator) MeanTiming() Timing { return sim.timing(durMean, nil, nil) }
+// this is the approximation the paper uses for the slack metrics. The
+// timing is computed once and cached; treat the returned vectors as
+// read-only.
+func (sim *Simulator) MeanTiming() Timing {
+	sim.meanOnce.Do(func() { sim.meanTiming = sim.timing(durMean, nil, nil) })
+	return sim.meanTiming
+}
+
+// MaxTiming executes the schedule with every duration at the top of
+// its support: the worst-case makespan, and the upper bound of every
+// realization (the makespan is monotone in the durations). The timing
+// is computed once and cached; treat the returned vectors as
+// read-only.
+func (sim *Simulator) MaxTiming() Timing {
+	sim.maxOnce.Do(func() { sim.maxTiming = sim.timing(durMax, nil, nil) })
+	return sim.maxTiming
+}
 
 // Realize samples one realization of every duration and returns the
 // resulting makespan.
@@ -179,44 +220,66 @@ func (sim *Simulator) RealizeTiming(rng *rand.Rand, buf []float64) Timing {
 	return sim.timing(durSample, rng, buf)
 }
 
-// Realizations draws count makespan realizations, distributing the
-// work over GOMAXPROCS goroutines. Each worker derives its own RNG
-// stream from seed over a disjoint chunk, so results are deterministic
-// for a given (count, seed) pair regardless of scheduling.
+// DefaultBlockSize is the realization-block granularity shared by the
+// per-sample engine and the compiled kernel: realizations are
+// partitioned into blocks of this size, and block k draws from an RNG
+// seeded with seeds.NewFamily(seed, "mc-block").Seed(k). Because the
+// seeding is per block — not per worker — results are identical at
+// every worker count and GOMAXPROCS setting, and the kernel's exact
+// mode reproduces Realizations bit-for-bit at this block size.
+const DefaultBlockSize = 256
+
+// blockSeeds precomputes the per-block RNG seeds for count
+// realizations in blocks of size block.
+func blockSeeds(count, block int, seed int64) []int64 {
+	fam := seeds.NewFamily(seed, "mc-block")
+	nb := (count + block - 1) / block
+	out := make([]int64, nb)
+	for k := range out {
+		out[k] = fam.Seed(k)
+	}
+	return out
+}
+
+// Realizations draws count makespan realizations with the per-sample
+// reference engine, distributing whole blocks of DefaultBlockSize
+// realizations over GOMAXPROCS goroutines. Each block derives its own
+// RNG stream from seed, so results are deterministic for a given
+// (count, seed) pair at any worker count.
 func (sim *Simulator) Realizations(count int, seed int64) []float64 {
 	out := make([]float64, count)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > count {
-		workers = count
-	}
-	if workers <= 1 {
-		rng := rand.New(rand.NewSource(seed))
-		buf := make([]float64, 2*len(sim.dur))
-		for i := range out {
-			out[i] = sim.timing(durSample, rng, buf).Makespan
-		}
+	if count == 0 {
 		return out
 	}
+	bs := blockSeeds(count, DefaultBlockSize, seed)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	var next int64
 	var wg sync.WaitGroup
-	chunk := (count + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > count {
-			hi = count
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9))
+			rng := rand.New(rand.NewSource(0))
 			buf := make([]float64, 2*len(sim.dur))
-			for i := lo; i < hi; i++ {
-				out[i] = sim.timing(durSample, rng, buf).Makespan
+			for {
+				k := int(atomic.AddInt64(&next, 1)) - 1
+				if k >= len(bs) {
+					return
+				}
+				rng.Seed(bs[k])
+				lo := k * DefaultBlockSize
+				hi := lo + DefaultBlockSize
+				if hi > count {
+					hi = count
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = sim.timing(durSample, rng, buf).Makespan
+				}
 			}
-		}(w, lo, hi)
+		}()
 	}
 	wg.Wait()
 	return out

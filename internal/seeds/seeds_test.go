@@ -1,0 +1,52 @@
+package seeds
+
+import "testing"
+
+func TestDeriveDeterministicAndMixed(t *testing.T) {
+	a := Derive(1, "case-a")
+	if a != Derive(1, "case-a") {
+		t.Fatal("Derive is not deterministic")
+	}
+	seen := map[int64]string{}
+	for base := int64(0); base < 4; base++ {
+		for _, label := range []string{"case-a", "case-b", "case-c"} {
+			s := Derive(base, label)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %q and (%d,%q)", prev, base, label)
+			}
+			seen[s] = label
+		}
+	}
+}
+
+func TestFamilyMatchesRootAndMixes(t *testing.T) {
+	f := NewFamily(7, "mc-block")
+	if f.Seed(3) != NewFamily(7, "mc-block").Seed(3) {
+		t.Fatal("Family is not deterministic")
+	}
+	seen := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		s := f.Seed(i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("family seed collision between indices %d and %d", prev, i)
+		}
+		seen[s] = i
+	}
+	// Families with different labels or bases must diverge.
+	if f.Seed(0) == NewFamily(7, "other").Seed(0) {
+		t.Error("different labels share seeds")
+	}
+	if f.Seed(0) == NewFamily(8, "mc-block").Seed(0) {
+		t.Error("different bases share seeds")
+	}
+}
+
+func TestFamilySeedZeroAllocs(t *testing.T) {
+	f := NewFamily(1, "x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = f.Seed(42)
+	})
+	if allocs != 0 {
+		t.Errorf("Family.Seed allocates %g times per call, want 0", allocs)
+	}
+}

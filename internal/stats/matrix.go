@@ -9,6 +9,14 @@ import (
 // CorrMatrix computes the K×K Pearson matrix of a dataset given as K
 // column vectors of equal length (one row per schedule, one column per
 // metric). The diagonal is 1.
+//
+// A zero-variance column — e.g. the makespan standard deviation of a
+// deterministic (Dirac-duration) case, or the probabilistic metrics
+// when every schedule hits probability 1 — has no defined correlation:
+// its off-diagonal entries are NaN (see Pearson). Downstream
+// aggregation (AggregateMatrices) and rendering (FormatMatrix, the
+// JSON/CSV encoders) treat NaN as "not available" rather than
+// propagating it, so one degenerate case never poisons a sweep.
 func CorrMatrix(cols [][]float64) ([][]float64, error) {
 	k := len(cols)
 	if k == 0 {
@@ -36,8 +44,10 @@ func CorrMatrix(cols [][]float64) ([][]float64, error) {
 
 // AggregateMatrices returns the element-wise mean and standard
 // deviation of a set of equally-sized matrices, skipping NaN entries
-// (degenerate correlations). This builds the paper's Fig. 6: mean on
-// the upper triangle, std-dev on the lower.
+// (degenerate correlations, see CorrMatrix): a cell averages the cases
+// where it was defined, and is NaN only when it was defined in none.
+// This builds the paper's Fig. 6: mean on the upper triangle, std-dev
+// on the lower.
 func AggregateMatrices(ms [][][]float64) (mean, std [][]float64, err error) {
 	if len(ms) == 0 {
 		return nil, nil, fmt.Errorf("stats: no matrices")

@@ -160,6 +160,47 @@ func TestCorrMatrix(t *testing.T) {
 	}
 }
 
+// A zero-variance (constant) metric column must yield NaN off-diagonal
+// entries — never a panic, an Inf, or a spurious ±1 — and leave every
+// other entry untouched.
+func TestCorrMatrixConstantColumn(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	konst := []float64{5, 5, 5, 5} // e.g. σ_M of a Dirac-duration case
+	ys := []float64{8, 6, 4, 2}
+	m, err := CorrMatrix([][]float64{xs, konst, ys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{0, 2} {
+		if !math.IsNaN(m[1][j]) || !math.IsNaN(m[j][1]) {
+			t.Errorf("constant column vs %d = %g, want NaN", j, m[1][j])
+		}
+	}
+	if m[1][1] != 1 {
+		t.Error("diagonal of a constant column must stay 1")
+	}
+	if !almostEqual(m[0][2], -1, 1e-12) {
+		t.Errorf("non-degenerate pair disturbed: %g", m[0][2])
+	}
+}
+
+func TestAggregateMatricesAllNaNCell(t *testing.T) {
+	// A cell that is NaN in every case has no data at all: the
+	// aggregate must mark it NaN, not zero.
+	m1 := [][]float64{{1, math.NaN()}, {math.NaN(), 1}}
+	m2 := [][]float64{{1, math.NaN()}, {math.NaN(), 1}}
+	mean, std, err := AggregateMatrices([][][]float64{m1, m2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(mean[0][1]) || !math.IsNaN(std[0][1]) {
+		t.Errorf("all-NaN cell aggregated to %g/%g, want NaN", mean[0][1], std[0][1])
+	}
+	if mean[0][0] != 1 {
+		t.Error("diagonal lost")
+	}
+}
+
 func TestAggregateMatrices(t *testing.T) {
 	m1 := [][]float64{{1, 0.5}, {0.5, 1}}
 	m2 := [][]float64{{1, 0.7}, {0.7, 1}}

@@ -58,6 +58,25 @@ type (
 	MakespanRV = stochastic.Numeric
 	// EmpiricalRV is a Monte-Carlo sampled makespan distribution.
 	EmpiricalRV = stochastic.Empirical
+	// RealizationKernel is the compiled batch Monte-Carlo engine
+	// (built with Simulator.Compile).
+	RealizationKernel = schedule.RealizationKernel
+	// MCOptions tunes the Monte-Carlo kernel (sampler mode, block
+	// size, workers).
+	MCOptions = makespan.MCOptions
+	// MCStats is the kernel's streaming moment/quantile accumulator.
+	MCStats = schedule.MCStats
+)
+
+// Sampler modes re-exported from the stochastic package.
+const (
+	// SamplerExact draws through each distribution's own sampler:
+	// bit-identical to the per-sample reference engine.
+	SamplerExact = stochastic.SamplerExact
+	// SamplerTable swaps Beta sampling for precomputed inverse-CDF
+	// tables — several times faster, identical within
+	// 1/stochastic.BetaTableSize in Kolmogorov distance.
+	SamplerTable = stochastic.SamplerTable
 )
 
 // Evaluation method names re-exported from the makespan package.
@@ -126,9 +145,23 @@ func MakespanDistribution(scen *Scenario, s *Schedule, method makespan.Method) (
 	return makespan.Evaluate(scen, s, method, 0)
 }
 
-// MonteCarlo draws count makespan realizations of s.
+// MonteCarlo draws count makespan realizations of s through the
+// compiled kernel in exact mode (bit-identical to the per-sample
+// reference engine).
 func MonteCarlo(scen *Scenario, s *Schedule, count int, seed int64) (*EmpiricalRV, error) {
 	return makespan.MonteCarlo(scen, s, count, seed)
+}
+
+// MonteCarloWith is MonteCarlo with explicit kernel options (e.g.
+// MCOptions{Sampler: SamplerTable} for bulk runs).
+func MonteCarloWith(scen *Scenario, s *Schedule, count int, seed int64, opt MCOptions) (*EmpiricalRV, error) {
+	return makespan.MonteCarloWith(scen, s, count, seed, opt)
+}
+
+// MonteCarloStats streams count realizations into the kernel's
+// moment/quantile accumulator without materializing the sample slice.
+func MonteCarloStats(scen *Scenario, s *Schedule, count int, seed int64, opt MCOptions) (*MCStats, error) {
+	return makespan.MonteCarloStats(scen, s, count, seed, opt)
 }
 
 // ComputeMetrics evaluates the makespan distribution with the
