@@ -19,13 +19,20 @@
 //
 // Besides the paper's nine figures, two §VIII future-work experiments
 // are available: -fig ul (variable per-task uncertainty levels) and
-// -fig osc (oscillating non-Beta duration distributions).
+// -fig osc (oscillating non-Beta duration distributions) — plus
+// -fig sweep, which crosses any set of registered workload families
+// with -sweep-sizes × -sweep-uls × -sweep-reps and aggregates the
+// correlation matrices like Fig. 6. An unachievable (family, size)
+// pair fails the sweep up front instead of silently clamping the
+// graph.
 //
 // Usage:
 //
-//	experiments [-fig 1|...|9|ul|osc|all] [-full] [-out DIR] [-seed N]
+//	experiments [-fig 1|...|9|ul|osc|sweep|all] [-full] [-out DIR] [-seed N]
 //	            [-json] [-workers N] [-resume] [-cache-dir DIR]
 //	            [-sampler exact|table] [-mc-block N]
+//	            [-families A,B,...] [-sweep-sizes N,...] [-sweep-uls U,...]
+//	            [-sweep-reps R]
 //
 // -sampler selects the Monte-Carlo realization engine: "exact" keeps
 // the bit-stable reference stream, "table" switches the Beta samplers
@@ -43,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiment"
@@ -52,7 +60,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	figFlag := flag.String("fig", "all", "figure to regenerate (1-9, ul, osc, or all)")
+	figFlag := flag.String("fig", "all", "figure to regenerate (1-9, ul, osc, sweep, or all; sweep is never part of all)")
 	full := flag.Bool("full", false, "paper-scale sample counts (slow)")
 	out := flag.String("out", "", "directory for output files (default stdout)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -64,6 +72,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write JSON reports (figN.json; CSV matrices beside case figures when -out is set)")
 	resume := flag.Bool("resume", false, "cache finished cases on disk and reuse them on rerun (default dir: .experiments-cache)")
 	cacheDir := flag.String("cache-dir", "", "case-result cache directory (implies -resume)")
+	// The sweep defaults cover every family whose size grid reaches the
+	// paper's ~{10,30,100} targets; strassen (25, 193, 1369, ... tasks)
+	// is opt-in with matching -sweep-sizes.
+	families := flag.String("families",
+		"random,cholesky,gausselim,join,intree,outtree,seriesparallel,fft,stg",
+		"comma-separated workload families for -fig sweep (registered: "+
+			strings.Join(experiment.FamilyNames(), ", ")+")")
+	sweepSizes := flag.String("sweep-sizes", "10,30,100", "comma-separated task counts for -fig sweep")
+	sweepULs := flag.String("sweep-uls", "1.01,1.1", "comma-separated uncertainty levels for -fig sweep")
+	sweepReps := flag.Int("sweep-reps", 1, "instances per (family, size, UL) cell for -fig sweep")
 	flag.Parse()
 
 	cfg := experiment.DefaultConfig()
@@ -121,6 +139,10 @@ func main() {
 	}()
 
 	env := &runEnv{ctx: ctx, cfg: cfg, outDir: *out, json: *jsonOut}
+	var err error
+	if env.sweep, err = parseSweep(*families, *sweepSizes, *sweepULs, *sweepReps); err != nil {
+		log.Fatal(err)
+	}
 	if *cacheDir == "" && *resume {
 		*cacheDir = ".experiments-cache"
 	}
@@ -160,6 +182,36 @@ type runEnv struct {
 	outDir string
 	json   bool
 	opts   experiment.RunOptions
+	sweep  experiment.Sweep
+}
+
+// parseSweep assembles the -fig sweep grid from the flag values.
+func parseSweep(families, sizes, uls string, reps int) (experiment.Sweep, error) {
+	s := experiment.Sweep{NamePrefix: "sweep", Reps: reps}
+	for _, f := range strings.Split(families, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			s.Families = append(s.Families, f)
+		}
+	}
+	for _, tok := range strings.Split(sizes, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return s, fmt.Errorf("-sweep-sizes: %v", err)
+			}
+			s.Sizes = append(s.Sizes, n)
+		}
+	}
+	for _, tok := range strings.Split(uls, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			ul, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return s, fmt.Errorf("-sweep-uls: %v", err)
+			}
+			s.ULs = append(s.ULs, ul)
+		}
+	}
+	return s, nil
 }
 
 // output opens the destination writer for a figure.
@@ -310,6 +362,25 @@ func (e *runEnv) runFig(fig string) error {
 		return e.emit(fig, res, func(w io.Writer) error {
 			experiment.WriteVariableUL(w, res)
 			return nil
+		})
+	case "sweep":
+		opts := e.opts
+		opts.Progress = e.progress()
+		// Fail on an infeasible grid before spending any compute.
+		specs, err := e.sweep.Cases(cfg.Seed)
+		if err != nil {
+			return err
+		}
+		log.Printf("  sweep grid: %d cases (%s)", len(specs), strings.Join(e.sweep.Families, ", "))
+		res, err := experiment.AggregateCases(e.ctx, specs, cfg, opts)
+		if err != nil {
+			return err
+		}
+		return e.emitWithCSV(fig, res, func(w io.Writer) error {
+			experiment.WriteFig6(w, res)
+			return nil
+		}, "figsweep_matrix.csv", func(w io.Writer) error {
+			return experiment.WriteFig6CSV(w, res)
 		})
 	case "osc":
 		res, err := experiment.OscillatingDurationsCase(cfg)

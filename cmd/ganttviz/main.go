@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	ganttviz [-graph cholesky|gausselim|random] [-n 10] [-m 3]
+//	ganttviz [-graph FAMILY] [-n 10] [-m 3]
 //	         [-ul 1.1] [-heuristic heft|bil|hbmct|random] [-seed 1] [-width 100]
+//
+// -graph accepts any registered workload family (see
+// experiment.FamilyNames).
 package main
 
 import (
@@ -24,7 +27,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ganttviz: ")
-	graph := flag.String("graph", "cholesky", "graph kind: random, cholesky, gausselim")
+	graph := flag.String("graph", "cholesky",
+		"workload family: "+strings.Join(experiment.FamilyNames(), ", "))
 	n := flag.Int("n", 10, "approximate task count")
 	m := flag.Int("m", 3, "processor count")
 	ul := flag.Float64("ul", 1.1, "uncertainty level")
@@ -33,19 +37,8 @@ func main() {
 	width := flag.Int("width", 100, "chart width in characters")
 	flag.Parse()
 
-	var kind experiment.GraphKind
-	switch *graph {
-	case "random":
-		kind = experiment.RandomGraph
-	case "cholesky":
-		kind = experiment.CholeskyGraph
-	case "gausselim":
-		kind = experiment.GaussElimGraph
-	default:
-		log.Fatalf("unknown graph kind %q", *graph)
-	}
 	scen, err := experiment.CaseSpec{
-		Name: "gantt", Kind: kind, N: *n, M: *m, UL: *ul, Seed: *seed,
+		Name: "gantt", Family: *graph, N: *n, M: *m, UL: *ul, Seed: *seed,
 	}.BuildScenario()
 	if err != nil {
 		log.Fatal(err)

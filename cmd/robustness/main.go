@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	robustness [-graph random|cholesky|gausselim] [-n 30] [-m 8]
+//	robustness [-graph FAMILY] [-n 30] [-m 8]
 //	           [-ul 1.1] [-schedules 200] [-seed 1]
+//
+// -graph accepts any registered workload family (random, cholesky,
+// gausselim, join, intree, outtree, seriesparallel, fft, strassen,
+// stg, ...).
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/experiment"
 )
@@ -21,7 +26,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("robustness: ")
-	graph := flag.String("graph", "random", "graph kind: random, cholesky, gausselim")
+	graph := flag.String("graph", "random",
+		"workload family: "+strings.Join(experiment.FamilyNames(), ", "))
 	n := flag.Int("n", 30, "approximate task count")
 	m := flag.Int("m", 8, "processor count")
 	ul := flag.Float64("ul", 1.1, "uncertainty level (>= 1)")
@@ -29,23 +35,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	flag.Parse()
 
-	var kind experiment.GraphKind
-	switch *graph {
-	case "random":
-		kind = experiment.RandomGraph
-	case "cholesky":
-		kind = experiment.CholeskyGraph
-	case "gausselim":
-		kind = experiment.GaussElimGraph
-	default:
-		log.Fatalf("unknown graph kind %q", *graph)
+	if _, err := experiment.FamilyByName(*graph); err != nil {
+		log.Fatal(err)
 	}
 	cfg := experiment.DefaultConfig()
 	cfg.Schedules = *schedules
 	cfg.Seed = *seed
 	spec := experiment.CaseSpec{
-		Name: fmt.Sprintf("%s-n%d-m%d-ul%g", *graph, *n, *m, *ul),
-		Kind: kind, N: *n, M: *m, UL: *ul, Seed: *seed,
+		Name:   fmt.Sprintf("%s-n%d-m%d-ul%g", *graph, *n, *m, *ul),
+		Family: *graph, N: *n, M: *m, UL: *ul, Seed: *seed,
 	}
 	res, err := experiment.RunCase(spec, cfg)
 	if err != nil {

@@ -4,50 +4,20 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/dag"
-	"repro/internal/graphgen"
 	"repro/internal/platform"
 	"repro/internal/seeds"
 )
 
-// GraphKind selects a task-graph family from §V.
-type GraphKind int
-
-const (
-	// RandomGraph is the layered random generator of §V.
-	RandomGraph GraphKind = iota
-	// CholeskyGraph is the tiled Cholesky factorization DAG.
-	CholeskyGraph
-	// GaussElimGraph is the Cosnard et al. Gaussian elimination DAG.
-	GaussElimGraph
-	// JoinGraph is the N+1-task join of Fig. 9.
-	JoinGraph
-)
-
-func (k GraphKind) String() string {
-	switch k {
-	case RandomGraph:
-		return "random"
-	case CholeskyGraph:
-		return "cholesky"
-	case GaussElimGraph:
-		return "gausselim"
-	case JoinGraph:
-		return "join"
-	default:
-		return fmt.Sprintf("kind(%d)", int(k))
-	}
-}
-
-// CaseSpec defines one experimental case: a graph family and target
-// size, a platform size, and an uncertainty level.
+// CaseSpec defines one experimental case: a workload family (by its
+// registered name) and target size, a platform size, and an
+// uncertainty level.
 type CaseSpec struct {
-	Name string
-	Kind GraphKind
-	N    int // requested task count (generators round to their grid)
-	M    int // processors
-	UL   float64
-	Seed int64
+	Name   string
+	Family string // registered workload family name (see FamilyNames)
+	N      int    // requested task count (families round to their size grid)
+	M      int    // processors
+	UL     float64
+	Seed   int64
 }
 
 // WithDerivedSeed returns a copy of the spec whose seed is derived
@@ -57,75 +27,41 @@ type CaseSpec struct {
 // hand-numbering their cases.
 func (c CaseSpec) WithDerivedSeed(base int64) CaseSpec {
 	c.Seed = seeds.Derive(base,
-		fmt.Sprintf("%s/%s/n%d/m%d/ul%g", c.Name, c.Kind, c.N, c.M, c.UL))
+		fmt.Sprintf("%s/%s/n%d/m%d/ul%g", c.Name, c.Family, c.N, c.M, c.UL))
 	return c
 }
 
-// choleskyTiles returns the tile count whose task count is closest to
-// n.
-func choleskyTiles(n int) int {
-	best, bestDiff := 1, 1<<30
-	for b := 1; b < 40; b++ {
-		c := graphgen.CholeskyTaskCount(b)
-		d := c - n
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDiff {
-			best, bestDiff = b, d
-		}
-		if c > 4*n {
-			break
-		}
-	}
-	return best
-}
-
-// gaussElimSize returns the matrix size whose task count is closest to
-// n.
-func gaussElimSize(n int) int {
-	best, bestDiff := 2, 1<<30
-	for b := 2; b < 80; b++ {
-		c := graphgen.GaussElimTaskCount(b)
-		d := c - n
-		if d < 0 {
-			d = -d
-		}
-		if d < bestDiff {
-			best, bestDiff = b, d
-		}
-		if c > 4*n {
-			break
-		}
-	}
-	return best
-}
-
 // BuildScenario deterministically constructs the scenario of the case:
-// graph, weights and platform all derive from the case seed.
+// graph, weights and platform all derive from the case seed. The
+// workload family is resolved through the registry; a size the family
+// grid cannot approximate within a factor of two is a *SizeError, not
+// a silently clamped graph.
 func (c CaseSpec) BuildScenario() (*platform.Scenario, error) {
-	rng := rand.New(rand.NewSource(c.Seed))
-	var g *dag.Graph
-	var etc [][]float64
-	switch c.Kind {
-	case RandomGraph:
-		var weights []float64
-		g, weights = graphgen.Random(graphgen.DefaultRandomParams(c.N), rng)
-		etc = platform.GenerateETCFromWeights(weights, c.M, 0.5, rng)
-	case CholeskyGraph:
-		g = graphgen.Cholesky(choleskyTiles(c.N), 10, 20, rng)
-		etc = platform.GenerateETCUniform(g.N(), c.M, 10, 20, rng)
-	case GaussElimGraph:
-		g = graphgen.GaussElim(gaussElimSize(c.N), 10, 20, rng)
-		etc = platform.GenerateETCUniform(g.N(), c.M, 10, 20, rng)
-	case JoinGraph:
-		g = graphgen.Join(c.N, 0)
-		etc = platform.GenerateETCUniform(g.N(), c.M, 10, 20, rng)
-	default:
-		return nil, fmt.Errorf("experiment: unknown graph kind %v", c.Kind)
+	fam, err := FamilyByName(c.Family)
+	if err != nil {
+		return nil, err
 	}
-	if g.N() == 0 {
+	size, err := fam.RoundSize(c.N)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	g, weights, err := fam.Generate(size, rng)
+	if err != nil {
+		return nil, err
+	}
+	if g != nil && g.N() != size {
+		return nil, fmt.Errorf("experiment: family %q generated %d tasks for rounded size %d",
+			c.Family, g.N(), size)
+	}
+	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("experiment: case %q produced an empty graph", c.Name)
+	}
+	var etc [][]float64
+	if weights != nil {
+		etc = platform.GenerateETCFromWeights(weights, c.M, 0.5, rng)
+	} else {
+		etc = platform.GenerateETCUniform(g.N(), c.M, 10, 20, rng)
 	}
 	tau, lat := platform.NewUniformNetwork(c.M, 1, 0) // latency negligible per §V
 	p := &platform.Platform{M: c.M, ETC: etc, Tau: tau, Lat: lat}
@@ -138,46 +74,39 @@ func (c CaseSpec) BuildScenario() (*platform.Scenario, error) {
 // Fig3Case is the paper's Fig. 3: Cholesky, 10 tasks, 3 processors,
 // UL = 1.01.
 func Fig3Case(seed int64) CaseSpec {
-	return CaseSpec{Name: "fig3-cholesky-10", Kind: CholeskyGraph, N: 10, M: 3, UL: 1.01, Seed: seed}
+	return CaseSpec{Name: "fig3-cholesky-10", Family: CholeskyFamily, N: 10, M: 3, UL: 1.01, Seed: seed}
 }
 
 // Fig4Case is the paper's Fig. 4: random graph, 30 tasks, 8
 // processors, UL = 1.01.
 func Fig4Case(seed int64) CaseSpec {
-	return CaseSpec{Name: "fig4-random-30", Kind: RandomGraph, N: 30, M: 8, UL: 1.01, Seed: seed}
+	return CaseSpec{Name: "fig4-random-30", Family: RandomFamily, N: 30, M: 8, UL: 1.01, Seed: seed}
 }
 
 // Fig5Case is the paper's Fig. 5: Gaussian elimination, ~103 tasks, 16
 // processors, UL = 1.1.
 func Fig5Case(seed int64) CaseSpec {
-	return CaseSpec{Name: "fig5-gausselim-103", Kind: GaussElimGraph, N: 103, M: 16, UL: 1.1, Seed: seed}
+	return CaseSpec{Name: "fig5-gausselim-103", Family: GaussElimFamily, N: 103, M: 16, UL: 1.1, Seed: seed}
 }
 
 // Fig6Cases returns the 24 correlation cases aggregated in Fig. 6: the
 // three graph families at sizes ≈{10, 30, 100} with UL ∈ {1.01, 1.1},
 // plus additional random-graph instances (the paper generated up to 10
 // random graphs per size), platform sizes following the figures
-// (3 procs for ~10 tasks, 8 for ~30, 16 for ~100).
+// (3 procs for ~10 tasks, 8 for ~30, 16 for ~100). It is the Fig. 6
+// instance of the generalized Sweep grid.
 func Fig6Cases(seed int64) []CaseSpec {
-	sizes := []struct{ n, m int }{{10, 3}, {30, 8}, {100, 16}}
-	uls := []float64{1.01, 1.1}
-	var cases []CaseSpec
-	id := 0
-	add := func(kind GraphKind, n, m int, ul float64, rep int) {
-		id++
-		cases = append(cases, CaseSpec{
-			Name: fmt.Sprintf("fig6-%02d-%s-n%d-ul%g-r%d", id, kind, n, ul, rep),
-			Kind: kind, N: n, M: m, UL: ul,
-			Seed: seed + int64(id)*1000,
-		})
-	}
-	for _, sz := range sizes {
-		for _, ul := range uls {
-			add(CholeskyGraph, sz.n, sz.m, ul, 0)
-			add(GaussElimGraph, sz.n, sz.m, ul, 0)
-			add(RandomGraph, sz.n, sz.m, ul, 0)
-			add(RandomGraph, sz.n, sz.m, ul, 1) // second random instance
-		}
+	cases, err := Sweep{
+		NamePrefix: "fig6",
+		Families:   []string{CholeskyFamily, GaussElimFamily, RandomFamily},
+		Sizes:      []int{10, 30, 100},
+		ULs:        []float64{1.01, 1.1},
+		RepsFor:    map[string]int{RandomFamily: 2}, // second random instance
+	}.Cases(seed)
+	if err != nil {
+		// The grid is static and covered by tests; reaching this is a
+		// programming bug, not an input error.
+		panic(err)
 	}
 	return cases
 }

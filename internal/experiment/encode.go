@@ -101,35 +101,30 @@ const (
 	Fig6Schema       = "repro/fig6/v1"
 )
 
-// caseSpecJSON mirrors CaseSpec with the graph kind as a string.
+// caseSpecJSON mirrors CaseSpec with the workload family by its stable
+// name. The JSON key stays "kind" for v1-schema compatibility — the
+// old GraphKind already serialized as the same name strings, so
+// documents written before the registry landed decode unchanged.
 type caseSpecJSON struct {
-	Name string  `json:"name"`
-	Kind string  `json:"kind"`
-	N    int     `json:"n"`
-	M    int     `json:"m"`
-	UL   float64 `json:"ul"`
-	Seed int64   `json:"seed"`
-}
-
-func parseGraphKind(s string) (GraphKind, error) {
-	for _, k := range []GraphKind{RandomGraph, CholeskyGraph, GaussElimGraph, JoinGraph} {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("experiment: unknown graph kind %q", s)
+	Name   string  `json:"name"`
+	Family string  `json:"kind"`
+	N      int     `json:"n"`
+	M      int     `json:"m"`
+	UL     float64 `json:"ul"`
+	Seed   int64   `json:"seed"`
 }
 
 func specToJSON(s CaseSpec) caseSpecJSON {
-	return caseSpecJSON{Name: s.Name, Kind: s.Kind.String(), N: s.N, M: s.M, UL: s.UL, Seed: s.Seed}
+	return caseSpecJSON{Name: s.Name, Family: s.Family, N: s.N, M: s.M, UL: s.UL, Seed: s.Seed}
 }
 
 func specFromJSON(s caseSpecJSON) (CaseSpec, error) {
-	kind, err := parseGraphKind(s.Kind)
-	if err != nil {
+	// Resolve through the registry so a document naming an unknown
+	// family fails loudly at decode time, not at BuildScenario.
+	if _, err := FamilyByName(s.Family); err != nil {
 		return CaseSpec{}, err
 	}
-	return CaseSpec{Name: s.Name, Kind: kind, N: s.N, M: s.M, UL: s.UL, Seed: s.Seed}, nil
+	return CaseSpec{Name: s.Name, Family: s.Family, N: s.N, M: s.M, UL: s.UL, Seed: s.Seed}, nil
 }
 
 // metricsJSON mirrors robustness.Metrics in Vector order.

@@ -206,15 +206,18 @@ func TestVariableULJSONRoundTripWithNaN(t *testing.T) {
 	}
 }
 
-func TestGraphKindParseInverse(t *testing.T) {
-	for _, k := range []GraphKind{RandomGraph, CholeskyGraph, GaussElimGraph, JoinGraph} {
-		got, err := parseGraphKind(k.String())
-		if err != nil || got != k {
-			t.Errorf("parseGraphKind(%q) = (%v, %v)", k.String(), got, err)
+func TestSpecJSONRoundTripsEveryFamily(t *testing.T) {
+	// Every registered family — built-in or added later — must survive
+	// the spec encode/decode by name.
+	for _, name := range FamilyNames() {
+		spec := CaseSpec{Name: "rt-" + name, Family: name, N: 10, M: 3, UL: 1.1, Seed: 9}
+		got, err := specFromJSON(specToJSON(spec))
+		if err != nil || got != spec {
+			t.Errorf("spec for family %q round-tripped to (%+v, %v)", name, got, err)
 		}
 	}
-	if _, err := parseGraphKind("kind(7)"); err == nil {
-		t.Error("unnamed kind accepted")
+	if _, err := specFromJSON(caseSpecJSON{Family: "kind(7)"}); err == nil {
+		t.Error("unregistered family accepted")
 	}
 }
 

@@ -3,6 +3,7 @@ package experiment
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -36,10 +37,10 @@ func shortConfig(c Config) Config {
 
 func TestCaseSpecBuildScenario(t *testing.T) {
 	for _, spec := range []CaseSpec{
-		{Name: "r", Kind: RandomGraph, N: 20, M: 4, UL: 1.1, Seed: 1},
-		{Name: "c", Kind: CholeskyGraph, N: 10, M: 3, UL: 1.01, Seed: 2},
-		{Name: "g", Kind: GaussElimGraph, N: 30, M: 8, UL: 1.1, Seed: 3},
-		{Name: "j", Kind: JoinGraph, N: 9, M: 4, UL: 1.5, Seed: 4},
+		{Name: "r", Family: RandomFamily, N: 20, M: 4, UL: 1.1, Seed: 1},
+		{Name: "c", Family: CholeskyFamily, N: 10, M: 3, UL: 1.01, Seed: 2},
+		{Name: "g", Family: GaussElimFamily, N: 30, M: 8, UL: 1.1, Seed: 3},
+		{Name: "j", Family: JoinFamily, N: 9, M: 4, UL: 1.5, Seed: 4},
 	} {
 		scen, err := spec.BuildScenario()
 		if err != nil {
@@ -52,8 +53,8 @@ func TestCaseSpecBuildScenario(t *testing.T) {
 			t.Errorf("%s: %v", spec.Name, err)
 		}
 	}
-	if _, err := (CaseSpec{Kind: GraphKind(42), N: 5, M: 2, UL: 1.1}).BuildScenario(); err == nil {
-		t.Error("unknown kind accepted")
+	if _, err := (CaseSpec{Family: "no-such-family", N: 5, M: 2, UL: 1.1}).BuildScenario(); err == nil {
+		t.Error("unknown family accepted")
 	}
 }
 
@@ -80,14 +81,14 @@ func TestCaseSizesMatchPaper(t *testing.T) {
 }
 
 func TestCholeskyAndGESizeSelection(t *testing.T) {
-	if choleskyTiles(10) != 3 {
-		t.Errorf("choleskyTiles(10) = %d, want 3", choleskyTiles(10))
+	if tiles, _, err := choleskyRound(10); err != nil || tiles != 3 {
+		t.Errorf("choleskyRound(10) = (%d, %v), want tiles 3", tiles, err)
 	}
-	if got := graphgen.CholeskyTaskCount(choleskyTiles(100)); got < 60 || got > 140 {
-		t.Errorf("cholesky ~100 gave %d tasks", got)
+	if _, got, err := choleskyRound(100); err != nil || got < 60 || got > 140 {
+		t.Errorf("cholesky ~100 gave %d tasks (err %v)", got, err)
 	}
-	if gaussElimSize(103) != 14 {
-		t.Errorf("gaussElimSize(103) = %d, want 14", gaussElimSize(103))
+	if size, _, err := gaussElimRound(103); err != nil || size != 14 {
+		t.Errorf("gaussElimRound(103) = (%d, %v), want size 14", size, err)
 	}
 }
 
@@ -351,7 +352,7 @@ func TestConfigHelpers(t *testing.T) {
 }
 
 func TestCaseCacheKeyCanonical(t *testing.T) {
-	spec := CaseSpec{Name: "k", Kind: RandomGraph, N: 10, M: 3, UL: 1.1, Seed: 7}
+	spec := CaseSpec{Name: "k", Family: RandomFamily, N: 10, M: 3, UL: 1.1, Seed: 7}
 	base := DefaultConfig()
 	ref, err := CaseCacheKey(spec, base)
 	if err != nil {
@@ -393,7 +394,7 @@ func TestInvalidSamplerRejectedByFigures(t *testing.T) {
 }
 
 func TestWithDerivedSeed(t *testing.T) {
-	spec := CaseSpec{Name: "x", Kind: RandomGraph, N: 10, M: 3, UL: 1.1}
+	spec := CaseSpec{Name: "x", Family: RandomFamily, N: 10, M: 3, UL: 1.1}
 	a, b := spec.WithDerivedSeed(1), spec.WithDerivedSeed(1)
 	if a.Seed == 0 || a.Seed != b.Seed {
 		t.Errorf("derivation not deterministic: %d vs %d", a.Seed, b.Seed)
@@ -411,15 +412,20 @@ func TestWithDerivedSeed(t *testing.T) {
 	}
 }
 
-func TestGraphKindString(t *testing.T) {
-	names := map[GraphKind]string{
-		RandomGraph: "random", CholeskyGraph: "cholesky",
-		GaussElimGraph: "gausselim", JoinGraph: "join", GraphKind(9): "kind(9)",
-	}
-	for k, want := range names {
-		if k.String() != want {
-			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+func TestBuiltinFamilyNames(t *testing.T) {
+	// The legacy GraphKind spellings must survive as registered family
+	// names: JSON documents and cache semantics reference them.
+	for _, name := range []string{"random", "cholesky", "gausselim", "join"} {
+		if _, err := FamilyByName(name); err != nil {
+			t.Errorf("legacy family %q not registered: %v", name, err)
 		}
+	}
+	names := FamilyNames()
+	if len(names) < 9 {
+		t.Errorf("only %d families registered: %v", len(names), names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("FamilyNames not sorted: %v", names)
 	}
 }
 
@@ -458,7 +464,7 @@ func TestRunCaseSingleProcessor(t *testing.T) {
 	// correlations are NaN; the runner must not crash.
 	cfg := testConfig()
 	cfg.Schedules = 15
-	spec := CaseSpec{Name: "m1", Kind: RandomGraph, N: 10, M: 1, UL: 1.1, Seed: 5}
+	spec := CaseSpec{Name: "m1", Family: RandomFamily, N: 10, M: 1, UL: 1.1, Seed: 5}
 	res, err := RunCase(spec, cfg)
 	if err != nil {
 		t.Fatal(err)

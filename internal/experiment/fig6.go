@@ -33,7 +33,14 @@ func Fig6(cfg Config, progress func(done, total int, name string)) (*Fig6Result,
 // report rendered from it — is byte-identical to a sequential run for
 // a fixed seed, at every worker count.
 func Fig6Run(ctx context.Context, cfg Config, opts RunOptions) (*Fig6Result, error) {
-	specs := Fig6Cases(cfg.Seed)
+	return AggregateCases(ctx, Fig6Cases(cfg.Seed), cfg, opts)
+}
+
+// AggregateCases runs any case list and aggregates the per-case
+// Pearson matrices the way Fig. 6 does (element-wise mean and std,
+// NaN cells skipped); custom Sweep grids reuse it to get the same
+// report types as the paper's figure.
+func AggregateCases(ctx context.Context, specs []CaseSpec, cfg Config, opts RunOptions) (*Fig6Result, error) {
 	cases, err := RunCases(ctx, specs, cfg, opts)
 	if err != nil {
 		return nil, err

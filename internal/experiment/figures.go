@@ -57,7 +57,7 @@ func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
 	var rows []Fig1Row
 	for si, n := range sizes {
 		spec := CaseSpec{
-			Name: fmt.Sprintf("fig1-n%d", n), Kind: RandomGraph,
+			Name: fmt.Sprintf("fig1-n%d", n), Family: RandomFamily,
 			N: n, M: procsFor(n), UL: 1.1, Seed: cfg.Seed + int64(si)*77,
 		}
 		scen, err := spec.BuildScenario()

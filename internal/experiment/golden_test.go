@@ -87,7 +87,7 @@ func fixtureCase() *CaseResult {
 	// A degenerate column (e.g. slack on one processor) yields NaN.
 	corr[0][3], corr[3][0] = math.NaN(), math.NaN()
 	return &CaseResult{
-		Spec: CaseSpec{Name: "golden-cholesky-10", Kind: CholeskyGraph, N: 10, M: 3, UL: 1.01, Seed: 42},
+		Spec: CaseSpec{Name: "golden-cholesky-10", Family: CholeskyFamily, N: 10, M: 3, UL: 1.01, Seed: 42},
 		Metrics: []robustness.Metrics{
 			fixtureMetrics(1), fixtureMetrics(1.5), fixtureMetrics(0.75),
 		},

@@ -1,0 +1,306 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/graphgen"
+)
+
+// GraphFamily is one registered workload: a stable string name (the
+// identity hashed into disk-cache keys and written into JSON
+// documents), a size-rounding function mapping requested task counts
+// onto the family's achievable size grid, and a generator.
+//
+// Families are registered by name in a process-wide registry; the
+// paper's three application structures plus the elementary join ship
+// built in, and callers can RegisterFamily additional ones. Cache keys
+// and JSON documents reference families only by name, so registration
+// order can never alias results across families.
+type GraphFamily struct {
+	// Name is the stable identifier. It must be non-empty and unique;
+	// it appears in case names, JSON documents, CLI flags and cache
+	// keys, so renaming a family invalidates its cached results.
+	Name string
+	// Describe is a one-line description for CLI/README listings.
+	Describe string
+	// RoundSize returns the achievable task count closest to the
+	// requested n. When the closest achievable count is off by more
+	// than a factor of two it returns a *SizeError — never a silently
+	// clamped size.
+	RoundSize func(n int) (int, error)
+	// Generate builds the graph with exactly n tasks plus optional
+	// per-task mean computation weights. BuildScenario always passes
+	// the RoundSize result, so Generate can assume n is achievable —
+	// it never needs to round (or clamp) itself. Families returning
+	// nil weights get the uniform [10, 20] ETC treatment of the
+	// paper's structured graphs; families returning weights go through
+	// platform.GenerateETCFromWeights with Vmach = 0.5.
+	Generate func(n int, rng *rand.Rand) (*dag.Graph, []float64, error)
+}
+
+// SizeError reports a workload size request that the family's size
+// grid cannot approximate within a factor of two. It replaces the old
+// behavior of silently clamping large requests (a Cholesky case asking
+// for 50 000 tasks used to get a ~10 660-task graph with no error).
+type SizeError struct {
+	Family    string
+	Requested int
+	Closest   int
+}
+
+func (e *SizeError) Error() string {
+	return fmt.Sprintf("experiment: family %q cannot build a graph of ~%d tasks (closest achievable size is %d, off by more than 2x)",
+		e.Family, e.Requested, e.Closest)
+}
+
+// Stable names of the built-in workload families.
+const (
+	RandomFamily         = "random"
+	CholeskyFamily       = "cholesky"
+	GaussElimFamily      = "gausselim"
+	JoinFamily           = "join"
+	InTreeFamily         = "intree"
+	OutTreeFamily        = "outtree"
+	SeriesParallelFamily = "seriesparallel"
+	FFTFamily            = "fft"
+	StrassenFamily       = "strassen"
+	STGFamily            = "stg"
+)
+
+var (
+	familiesMu sync.RWMutex
+	families   = make(map[string]GraphFamily)
+)
+
+// RegisterFamily adds a workload family to the registry. The name must
+// be non-empty and not yet taken, and both closures must be set.
+func RegisterFamily(f GraphFamily) error {
+	if f.Name == "" {
+		return fmt.Errorf("experiment: RegisterFamily: empty family name")
+	}
+	if f.RoundSize == nil || f.Generate == nil {
+		return fmt.Errorf("experiment: RegisterFamily %q: RoundSize and Generate are required", f.Name)
+	}
+	familiesMu.Lock()
+	defer familiesMu.Unlock()
+	if _, dup := families[f.Name]; dup {
+		return fmt.Errorf("experiment: RegisterFamily %q: already registered", f.Name)
+	}
+	families[f.Name] = f
+	return nil
+}
+
+// MustRegisterFamily is RegisterFamily panicking on error, for
+// package-init registration.
+func MustRegisterFamily(f GraphFamily) {
+	if err := RegisterFamily(f); err != nil {
+		panic(err)
+	}
+}
+
+// FamilyByName looks a family up by its stable name.
+func FamilyByName(name string) (GraphFamily, error) {
+	familiesMu.RLock()
+	f, ok := families[name]
+	familiesMu.RUnlock()
+	if !ok {
+		return GraphFamily{}, fmt.Errorf("experiment: unknown workload family %q (registered: %v)", name, FamilyNames())
+	}
+	return f, nil
+}
+
+// FamilyNames returns the registered family names, sorted.
+func FamilyNames() []string {
+	familiesMu.RLock()
+	defer familiesMu.RUnlock()
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// exactSize is the RoundSize of families that achieve every task count
+// from min upward: the identity above min, the smallest achievable
+// size below it (still subject to the factor-two window).
+func exactSize(family string, min int) func(int) (int, error) {
+	return func(n int) (int, error) {
+		if n >= min {
+			return n, nil
+		}
+		if min > 2*n {
+			return 0, &SizeError{Family: family, Requested: n, Closest: min}
+		}
+		return min, nil
+	}
+}
+
+// gridRound finds the achievable count closest to n on a sparse size
+// grid count(k), k = kMin, kMin+1, ... with count strictly increasing.
+// It searches the grid without any arbitrary parameter cap — the old
+// fixed caps are what silently clamped large requests — and returns a
+// *SizeError when even the closest count is off by more than a factor
+// of two.
+func gridRound(family string, n, kMin int, count func(int) int) (k, c int, err error) {
+	if n < 1 {
+		return 0, 0, &SizeError{Family: family, Requested: n, Closest: count(kMin)}
+	}
+	bestK, bestC := kMin, count(kMin)
+	for k := kMin; ; k++ {
+		c := count(k)
+		if abs(c-n) < abs(bestC-n) {
+			bestK, bestC = k, c
+		}
+		// The grid is increasing: once past 2n nothing closer follows.
+		if c >= 2*n {
+			break
+		}
+	}
+	if bestC > 2*n || 2*bestC < n {
+		return 0, 0, &SizeError{Family: family, Requested: n, Closest: bestC}
+	}
+	return bestK, bestC, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sizeOnly adapts a (param, count, error) rounding function to the
+// RoundSize signature.
+func sizeOnly(round func(int) (int, int, error)) func(int) (int, error) {
+	return func(n int) (int, error) {
+		_, c, err := round(n)
+		return c, err
+	}
+}
+
+// Built-in family parameter rounders, shared by RoundSize and Generate.
+func choleskyRound(n int) (tiles, count int, err error) {
+	return gridRound(CholeskyFamily, n, 1, graphgen.CholeskyTaskCount)
+}
+
+func gaussElimRound(n int) (size, count int, err error) {
+	return gridRound(GaussElimFamily, n, 2, graphgen.GaussElimTaskCount)
+}
+
+func fftRound(n int) (points, count int, err error) {
+	k, c, err := gridRound(FFTFamily, n, 1, func(k int) int { return (1 << k) * (k + 1) })
+	return 1 << k, c, err
+}
+
+func strassenRound(n int) (levels, count int, err error) {
+	return gridRound(StrassenFamily, n, 1, graphgen.StrassenTaskCount)
+}
+
+// treeArity is the branching factor of the built-in in/out-tree
+// families.
+const treeArity = 2
+
+func init() {
+	MustRegisterFamily(GraphFamily{
+		Name:      RandomFamily,
+		Describe:  "layered random DAG of §V (CCR 0.1, Gamma task/comm costs)",
+		RoundSize: exactSize(RandomFamily, 1),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			g, weights := graphgen.Random(graphgen.DefaultRandomParams(n), rng)
+			return g, weights, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      CholeskyFamily,
+		Describe:  "tiled right-looking Cholesky factorization (paper Fig. 3)",
+		RoundSize: sizeOnly(choleskyRound),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			tiles, _, err := choleskyRound(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			return graphgen.Cholesky(tiles, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      GaussElimFamily,
+		Describe:  "Cosnard et al. Gaussian elimination (paper Fig. 5)",
+		RoundSize: sizeOnly(gaussElimRound),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			size, _, err := gaussElimRound(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			return graphgen.GaussElim(size, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      JoinFamily,
+		Describe:  "join of Fig. 9: n-1 independent sources feeding one sink (n tasks total)",
+		RoundSize: exactSize(JoinFamily, 2),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			return graphgen.Join(n, 0), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      InTreeFamily,
+		Describe:  "complete binary in-tree (reduction): leaves feed the root",
+		RoundSize: exactSize(InTreeFamily, 1),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			return graphgen.InTree(n, treeArity, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      OutTreeFamily,
+		Describe:  "complete binary out-tree (divide): the root feeds the leaves",
+		RoundSize: exactSize(OutTreeFamily, 1),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			return graphgen.OutTree(n, treeArity, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      SeriesParallelFamily,
+		Describe:  "random two-terminal series-parallel DAG (fork/join programs)",
+		RoundSize: exactSize(SeriesParallelFamily, 2),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			return graphgen.SeriesParallel(n, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      FFTFamily,
+		Describe:  "p-point FFT butterfly, p a power of two (Topcuoglu et al.)",
+		RoundSize: sizeOnly(fftRound),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			points, _, err := fftRound(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			return graphgen.FFT(points, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      StrassenFamily,
+		Describe:  "r-level Strassen matrix multiplication (25, 193, 1369, ... tasks)",
+		RoundSize: sizeOnly(strassenRound),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			levels, _, err := strassenRound(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			return graphgen.Strassen(levels, 10, 20, rng), nil, nil
+		},
+	})
+	MustRegisterFamily(GraphFamily{
+		Name:      STGFamily,
+		Describe:  "Tobita-Kasahara-style layered STG (width/regularity/density/jump)",
+		RoundSize: exactSize(STGFamily, 3),
+		Generate: func(n int, rng *rand.Rand) (*dag.Graph, []float64, error) {
+			return graphgen.STG(graphgen.DefaultSTGParams(n), 10, 20, rng), nil, nil
+		},
+	})
+}

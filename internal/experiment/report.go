@@ -32,7 +32,7 @@ func WriteFig2(w io.Writer, res *Fig2Result) {
 // metric vectors.
 func WriteCase(w io.Writer, res *CaseResult) {
 	fmt.Fprintf(w, "# %s — %d random schedules, graph %s (n=%d, m=%d, UL=%g)\n",
-		res.Spec.Name, len(res.Metrics), res.Spec.Kind, res.Spec.N, res.Spec.M, res.Spec.UL)
+		res.Spec.Name, len(res.Metrics), res.Spec.Family, res.Spec.N, res.Spec.M, res.Spec.UL)
 	fmt.Fprintln(w, "# Pearson coefficients over the random schedules (slack and probabilistic metrics inverted):")
 	fmt.Fprint(w, stats.FormatMatrix(metricShortNames, res.Corr, nil))
 	fmt.Fprintf(w, "# (1-R)/M vs sigma_M Pearson: %.4f\n", res.RelByMakespanVsStd)

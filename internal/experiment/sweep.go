@@ -27,12 +27,16 @@ type RunOptions struct {
 }
 
 // caseCacheVersion tags cache entries; bump it whenever the result
-// semantics or encoding of a case change.
-const caseCacheVersion = "repro/case/v2"
+// semantics or encoding of a case change. v3: CaseSpec identifies its
+// workload by the registered family name (a stable string) instead of
+// the old iota-valued GraphKind, whose integer hash silently aliased
+// cache entries across families whenever the enum was reordered or
+// grew in the middle.
+const caseCacheVersion = "repro/case/v3"
 
 // CaseCacheKey derives the disk-cache key of a case: a hash of the
-// full spec and every configuration field that can affect the result.
-// Worker count never does. The correlation cases are evaluated
+// full spec (workload family by stable name) and every configuration
+// field that can affect the result. Worker count never does. The correlation cases are evaluated
 // analytically today, so the Monte-Carlo realization count stays out
 // of the key — but the sampler mode and block size are included, so
 // any future Monte-Carlo-backed case can never serve a stale entry

@@ -1,0 +1,59 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// FFT builds the butterfly task graph of a p-point fast Fourier
+// transform, p a power of two: log2(p)+1 ranks of p tasks each, where
+// the task (l, i) of rank l feeds the rank-l+1 tasks i and i XOR 2^l —
+// the two ends of the stage-l butterfly. Rank 0 holds the p input
+// tasks (sources) and the last rank the p output tasks (sinks); the
+// graph is weakly connected for every p ≥ 2.
+//
+// This is the FFT application graph used in the HEFT evaluation
+// (Topcuoglu, Hariri & Wu, TPDS 2002). Task count: p·(log2(p)+1).
+//
+// Edge communication volumes are drawn uniformly from [volLo, volHi].
+// Non-power-of-two p is rounded down to the previous power of two
+// (p < 2 becomes 2).
+func FFT(p int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	if p < 2 {
+		p = 2
+	}
+	// Round down to a power of two.
+	logP := 0
+	for 1<<(logP+1) <= p {
+		logP++
+	}
+	p = 1 << logP
+	n := p * (logP + 1)
+	g := dag.New(n)
+	vol := treeVol(volLo, volHi, rng)
+	id := func(l, i int) dag.Task { return dag.Task(l*p + i) }
+	for l := 0; l <= logP; l++ {
+		for i := 0; i < p; i++ {
+			g.SetName(id(l, i), fmt.Sprintf("B(%d,%d)", l, i))
+		}
+	}
+	for l := 0; l < logP; l++ {
+		for i := 0; i < p; i++ {
+			_ = g.AddEdge(id(l, i), id(l+1, i), vol())
+			_ = g.AddEdge(id(l, i), id(l+1, i^(1<<l)), vol())
+		}
+	}
+	return g
+}
+
+// FFTTaskCount returns the number of tasks of FFT(p) for p = 2^k:
+// p·(log2(p)+1).
+func FFTTaskCount(p int) int {
+	logP := 0
+	for 1<<(logP+1) <= p {
+		logP++
+	}
+	return (1 << logP) * (logP + 1)
+}

@@ -1,0 +1,57 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// SeriesParallel builds a random two-terminal series-parallel DAG with
+// exactly n tasks (n ≥ 2) by random edge expansion: starting from the
+// single edge source → sink, each step picks an existing edge (u, v)
+// uniformly and either series-expands it (insert w: u → w → v,
+// dropping u → v) or parallel-expands it (add w with u → w → v while
+// keeping u → v), with equal probability. Every step adds one task, so
+// any n is achievable; the result always has a single source (task 0)
+// and a single sink (task 1) and is weakly connected by construction.
+//
+// Series-parallel DAGs model fork/join-structured parallel programs
+// and are a standard family in DAG-scheduling benchmarks (see e.g. the
+// STG suite of Tobita & Kasahara, JSSPP 2002).
+//
+// Edge communication volumes are drawn uniformly from [volLo, volHi].
+func SeriesParallel(n int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	if n < 2 {
+		n = 2
+	}
+	vol := treeVol(volLo, volHi, rng)
+	type edge struct{ from, to dag.Task }
+	// Expansion runs on a symbolic edge list first; the volumes are
+	// drawn once at the end so they cost one rng draw per final edge.
+	edges := []edge{{0, 1}}
+	for next := dag.Task(2); next < dag.Task(n); next++ {
+		i := rng.Intn(len(edges))
+		e := edges[i]
+		if rng.Intn(2) == 0 {
+			// Series: replace u → v with u → w → v.
+			edges[i] = edge{e.from, next}
+			edges = append(edges, edge{next, e.to})
+		} else {
+			// Parallel: keep u → v, add u → w → v.
+			edges = append(edges, edge{e.from, next}, edge{next, e.to})
+		}
+	}
+	g := dag.New(n)
+	g.SetName(0, "SRC")
+	if n > 1 {
+		g.SetName(1, "SNK")
+	}
+	for i := 2; i < n; i++ {
+		g.SetName(dag.Task(i), fmt.Sprintf("T(%d)", i))
+	}
+	for _, e := range edges {
+		_ = g.AddEdge(e.from, e.to, vol())
+	}
+	return g
+}

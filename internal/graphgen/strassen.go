@@ -1,0 +1,112 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// Strassen builds the task graph of r recursion levels of Strassen's
+// matrix multiplication. One level consists of the ten operand
+// additions S1..S10 (S1 = A11+A22, S2 = B11+B22, ... following the
+// classic seven-product formulation), the seven sub-multiplications
+// P1..P7, and the eight combination additions assembling the four
+// result quadrants (C11 = P1+P4−P5+P7 etc., each as a chain of
+// two-operand adds). Each Pi is recursively another Strassen level;
+// at level 0 it is a single multiply task.
+//
+// Task count: T(0) = 1, T(r) = 7·T(r−1) + 18 — so 25 tasks at r = 1,
+// 193 at r = 2, 1369 at r = 3. The graph is weakly connected with the
+// ten level-r S tasks as sources and the four quadrant-final adds as
+// sinks.
+//
+// Edge communication volumes are drawn uniformly from [volLo, volHi].
+func Strassen(r int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	if r < 0 {
+		r = 0
+	}
+	g := dag.New(StrassenTaskCount(r))
+	vol := treeVol(volLo, volHi, rng)
+	next := dag.Task(0)
+	alloc := func(name string) dag.Task {
+		t := next
+		g.SetName(t, name)
+		next++
+		return t
+	}
+	// build returns the entry tasks (which must receive the operand
+	// edges) and exit tasks (which feed the consumer) of one
+	// sub-multiplication of depth depth.
+	var build func(depth int, tag string) (entries, exits []dag.Task)
+	build = func(depth int, tag string) ([]dag.Task, []dag.Task) {
+		if depth == 0 {
+			t := alloc("MUL" + tag)
+			return []dag.Task{t}, []dag.Task{t}
+		}
+		// operands[i] lists the S tasks feeding sub-multiplication i
+		// (P2..P5 take one raw quadrant operand, which is external input
+		// and costs no task).
+		s := make([]dag.Task, 10)
+		for i := range s {
+			s[i] = alloc(fmt.Sprintf("S%d%s", i+1, tag))
+		}
+		operands := [7][]dag.Task{
+			{s[0], s[1]}, // P1 = S1·S2
+			{s[2]},       // P2 = S3·B11
+			{s[3]},       // P3 = A11·S4
+			{s[4]},       // P4 = A22·S5
+			{s[5]},       // P5 = S6·B22
+			{s[6], s[7]}, // P6 = S7·S8
+			{s[8], s[9]}, // P7 = S9·S10
+		}
+		exitsOf := make([][]dag.Task, 7)
+		for i := 0; i < 7; i++ {
+			sub := depth - 1
+			en, ex := build(sub, fmt.Sprintf("%s.P%d", tag, i+1))
+			for _, op := range operands[i] {
+				for _, e := range en {
+					_ = g.AddEdge(op, e, vol())
+				}
+			}
+			exitsOf[i] = ex
+		}
+		// chain emits the additions of one result quadrant: a running
+		// two-operand add over the listed products.
+		chain := func(name string, prods ...int) dag.Task {
+			acc := dag.Task(-1)
+			for step := 1; step < len(prods); step++ {
+				add := alloc(fmt.Sprintf("%s+%d%s", name, step, tag))
+				if acc < 0 {
+					for _, e := range exitsOf[prods[0]] {
+						_ = g.AddEdge(e, add, vol())
+					}
+				} else {
+					_ = g.AddEdge(acc, add, vol())
+				}
+				for _, e := range exitsOf[prods[step]] {
+					_ = g.AddEdge(e, add, vol())
+				}
+				acc = add
+			}
+			return acc
+		}
+		c11 := chain("C11", 0, 3, 4, 6) // P1+P4−P5+P7: 3 adds
+		c12 := chain("C12", 2, 4)       // P3+P5: 1 add
+		c21 := chain("C21", 1, 3)       // P2+P4: 1 add
+		c22 := chain("C22", 0, 1, 2, 5) // P1−P2+P3+P6: 3 adds
+		return s, []dag.Task{c11, c12, c21, c22}
+	}
+	build(r, "")
+	return g
+}
+
+// StrassenTaskCount returns the number of tasks of Strassen(r):
+// T(0) = 1, T(r) = 7·T(r−1) + 18.
+func StrassenTaskCount(r int) int {
+	count := 1
+	for i := 0; i < r; i++ {
+		count = 7*count + 18
+	}
+	return count
+}

@@ -1,0 +1,64 @@
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dag"
+)
+
+// treeVol returns a volume sampler matching the convention of the
+// structured generators: uniform in [volLo, volHi], collapsing to volLo
+// when the interval is empty.
+func treeVol(volLo, volHi float64, rng *rand.Rand) func() float64 {
+	return func() float64 {
+		if volHi <= volLo {
+			return volLo
+		}
+		return volLo + rng.Float64()*(volHi-volLo)
+	}
+}
+
+// OutTree builds the complete k-ary out-tree with exactly n tasks in
+// heap order: task 0 is the root (single source), the parent of task i
+// is (i-1)/k, and data flows root → leaves. Out-trees model divide
+// phases of divide-and-conquer applications; any n ≥ 1 is achievable.
+//
+// Edge communication volumes are drawn uniformly from [volLo, volHi].
+func OutTree(n, k int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	if k < 1 {
+		k = 2
+	}
+	g := dag.New(n)
+	vol := treeVol(volLo, volHi, rng)
+	for i := 1; i < n; i++ {
+		g.SetName(dag.Task(i), fmt.Sprintf("T(%d)", i))
+		_ = g.AddEdge(dag.Task((i-1)/k), dag.Task(i), vol())
+	}
+	if n > 0 {
+		g.SetName(0, "T(0)")
+	}
+	return g
+}
+
+// InTree builds the complete k-ary in-tree with exactly n tasks: the
+// transpose of OutTree(n, k). Task 0 is the root (single sink), the
+// leaves are the sources, and data flows leaves → root — the classic
+// reduction / conquer shape. Any n ≥ 1 is achievable.
+//
+// Edge communication volumes are drawn uniformly from [volLo, volHi].
+func InTree(n, k int, volLo, volHi float64, rng *rand.Rand) *dag.Graph {
+	if k < 1 {
+		k = 2
+	}
+	g := dag.New(n)
+	vol := treeVol(volLo, volHi, rng)
+	for i := 1; i < n; i++ {
+		g.SetName(dag.Task(i), fmt.Sprintf("T(%d)", i))
+		_ = g.AddEdge(dag.Task(i), dag.Task((i-1)/k), vol())
+	}
+	if n > 0 {
+		g.SetName(0, "T(0)")
+	}
+	return g
+}

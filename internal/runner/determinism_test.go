@@ -27,11 +27,11 @@ func detConfig() experiment.Config {
 
 // detSpecs returns a small mixed-family case list.
 func detSpecs() []experiment.CaseSpec {
-	derived := experiment.CaseSpec{Name: "det-derived-seed", Kind: experiment.RandomGraph, N: 12, M: 3, UL: 1.01}
+	derived := experiment.CaseSpec{Name: "det-derived-seed", Family: experiment.RandomFamily, N: 12, M: 3, UL: 1.01}
 	return []experiment.CaseSpec{
-		{Name: "det-cholesky", Kind: experiment.CholeskyGraph, N: 10, M: 3, UL: 1.01, Seed: 11},
-		{Name: "det-random", Kind: experiment.RandomGraph, N: 20, M: 4, UL: 1.1, Seed: 12},
-		{Name: "det-gauss", Kind: experiment.GaussElimGraph, N: 15, M: 4, UL: 1.1, Seed: 13},
+		{Name: "det-cholesky", Family: experiment.CholeskyFamily, N: 10, M: 3, UL: 1.01, Seed: 11},
+		{Name: "det-random", Family: experiment.RandomFamily, N: 20, M: 4, UL: 1.1, Seed: 12},
+		{Name: "det-gauss", Family: experiment.GaussElimFamily, N: 15, M: 4, UL: 1.1, Seed: 13},
 		derived.WithDerivedSeed(7),
 	}
 }

@@ -163,9 +163,11 @@ func (k *RealizationKernel) Slots() int { return len(k.samplers) }
 // the top of its Support(). For the paper's bounded models (Beta,
 // Uniform, Dirac) this is exact; distributions whose Support() is a
 // heuristic truncation of an unbounded tail (Normal, LogNormal,
-// Exponential, Gamma) can rarely sample past it, in which case the
-// streaming histogram clamps the draw into its edge bin while Min and
-// Max still report the true observed extremes.
+// Exponential, Gamma) can sample past it, in which case the streaming
+// histogram clamps the draw into its edge bin while Min and Max still
+// report the true observed extremes. MCStats.Clamped counts those
+// draws, so callers can tell how much tail mass their histogram-based
+// estimates are missing.
 func (k *RealizationKernel) Bounds() (lo, hi float64) {
 	return k.minMakespan, k.maxMakespan
 }
@@ -339,8 +341,9 @@ const DefaultHistBins = 2048
 type MCStats struct {
 	mcMoments
 
-	lo, hi float64 // histogram range (analytic makespan support)
-	bins   []int64
+	lo, hi  float64 // histogram range (analytic makespan support)
+	bins    []int64
+	clamped int64 // draws outside [lo, hi], forced into the edge bins
 }
 
 // newMCStats builds an empty accumulator over [lo, hi].
@@ -411,7 +414,9 @@ func (st *mcMoments) merge(p mcMoments) {
 	}
 }
 
-// binAll histograms ms into the accumulator's fixed-range bins.
+// binAll histograms ms into the accumulator's fixed-range bins,
+// counting draws that fall outside the range (possible only when a
+// duration distribution's Support() truncates an unbounded tail).
 // Integer counts commute, so concurrent blocks may bin in any order
 // (under the caller's lock) without affecting the result.
 func (st *MCStats) binAll(ms []float64) {
@@ -421,6 +426,9 @@ func (st *MCStats) binAll(ms []float64) {
 	}
 	top := len(st.bins) - 1
 	for _, x := range ms {
+		if x < st.lo || x > st.hi {
+			st.clamped++
+		}
 		b := int((x - st.lo) * scale)
 		if b < 0 {
 			b = 0
@@ -434,6 +442,19 @@ func (st *MCStats) binAll(ms []float64) {
 
 // Count returns the number of accumulated realizations.
 func (st *MCStats) Count() int { return st.count }
+
+// Clamped returns how many realizations fell outside the analytic
+// makespan support [Bounds] and were clamped into the histogram's
+// edge bins. It is always zero for the paper's bounded duration
+// models (Beta, Uniform, Dirac); a positive count appears when a
+// Scenario.DurFn swaps in an unbounded-tail distribution (Normal,
+// LogNormal, ...) whose Support() is a heuristic truncation. Moments
+// and extremes (Mean, StdDev, Min, Max) stay exact regardless;
+// histogram-backed estimates (CDFAt, Quantile, ProbWithin,
+// LatenessAboveMean) degrade gracefully, attributing the clamped mass
+// to the edge bins. Callers needing exact tail quantiles under such
+// models should use the materialized-sample path instead.
+func (st *MCStats) Clamped() int64 { return st.clamped }
 
 // Mean returns the sample mean.
 func (st *MCStats) Mean() float64 { return st.mean }

@@ -214,6 +214,81 @@ func TestKernelStatsMatchSamples(t *testing.T) {
 	}
 }
 
+// truncLogNormal is a LogNormal whose Support() is an aggressively
+// truncated tail — the shape of a heuristic DurFn model: a real mass
+// of draws (~2% at 2σ) lands beyond the reported upper bound.
+type truncLogNormal struct{ stochastic.LogNormal }
+
+func (d truncLogNormal) Support() (float64, float64) {
+	return math.Exp(d.Mu - 2*d.Sigma), math.Exp(d.Mu + 2*d.Sigma)
+}
+
+// An unbounded-tail DurFn makes realizations overshoot the analytic
+// histogram range. The clamp must be counted and visible on MCStats,
+// the exact moments must be untouched, and the histogram quantile
+// estimates must degrade gracefully (finite, monotone, inside the
+// observed range) instead of silently pretending the support held.
+func TestKernelStatsCountsClampedTailDraws(t *testing.T) {
+	scen := chainScenario(1.3)
+	scen.DurFn = func(min, ul float64) stochastic.Dist {
+		return truncLogNormal{stochastic.LogNormal{Mu: math.Log(min), Sigma: 0.5}}
+	}
+	s := New(3, 2)
+	s.Assign(0, 0)
+	s.Assign(1, 1)
+	s.Assign(2, 0)
+	sim, err := NewSimulator(scen, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.Compile(stochastic.SamplerExact)
+	const count = 20000
+	st := k.Stats(count, 7, 0, KernelOptions{})
+
+	if st.Clamped() == 0 {
+		t.Fatal("truncated-support DurFn produced no clamped draws; the counter is dead")
+	}
+	if st.Clamped() > int64(count)/4 {
+		t.Fatalf("clamped %d of %d draws — truncation accounting implausible", st.Clamped(), count)
+	}
+	// Moments and extremes come from the streamed samples, not the
+	// histogram: Max must prove draws really left the analytic range.
+	_, hi := k.Bounds()
+	if st.Max() <= hi {
+		t.Fatalf("max %g within bounds hi %g, expected overshoot", st.Max(), hi)
+	}
+	if st.Mean() <= 0 || math.IsNaN(st.StdDev()) {
+		t.Fatalf("moments corrupted: mean %g std %g", st.Mean(), st.StdDev())
+	}
+	// Quantiles degrade gracefully: finite, non-decreasing in p, and
+	// never outside the observed sample range.
+	prev := math.Inf(-1)
+	for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		q := st.Quantile(p)
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("Quantile(%g) = %g", p, q)
+		}
+		if q < prev {
+			t.Fatalf("Quantile(%g) = %g below previous %g (not monotone)", p, q, prev)
+		}
+		if q < st.Min()-1e-9 || q > st.Max()+1e-9 {
+			t.Fatalf("Quantile(%g) = %g outside observed range [%g, %g]", p, q, st.Min(), st.Max())
+		}
+		prev = q
+	}
+	// The clamped mass sits in the edge bins, so mid-range estimates
+	// stay close to the materialized-sample truth.
+	emp := stochastic.NewEmpirical(k.Realizations(count, 7, KernelOptions{}))
+	if d := math.Abs(st.Quantile(0.5) - emp.Quantile(0.5)); d > 0.05*emp.Quantile(0.5) {
+		t.Errorf("median drifted by %g under clamping", d)
+	}
+	// A bounded-model kernel must never report clamps.
+	bounded := randomSimulator(t, 10, 3, 1.3, 41).Compile(stochastic.SamplerExact)
+	if c := bounded.Stats(5000, 3, 0, KernelOptions{}).Clamped(); c != 0 {
+		t.Fatalf("Beta-model kernel clamped %d draws, want 0", c)
+	}
+}
+
 // RealizationsInto must not allocate per realization once the worker
 // pool is warm.
 func TestKernelSteadyStateAllocations(t *testing.T) {

@@ -86,32 +86,41 @@ const (
 	MethodSpelde  = makespan.Spelde
 )
 
+// Families returns the names of every registered workload family —
+// the paper's three application structures plus the elementary join
+// and the extended generator set (trees, series-parallel, FFT,
+// Strassen, layered STG). Any returned name is valid for NewScenario.
+func Families() []string { return experiment.FamilyNames() }
+
+// NewScenario builds a scenario from any registered workload family:
+// a graph of ~n tasks (families round the request onto their size
+// grid and return an error — never a silently clamped graph — when no
+// achievable size is within a factor of two) on m processors with
+// uncertainty level ul.
+func NewScenario(family string, n, m int, ul float64, seed int64) (*Scenario, error) {
+	return experiment.CaseSpec{
+		Name: family, Family: family, N: n, M: m, UL: ul, Seed: seed,
+	}.BuildScenario()
+}
+
 // NewRandomScenario generates the paper's layered random DAG with n
 // tasks (CCR = 0.1, µtask = 20, Vtask = Vmach = 0.5) on m processors
 // with uncertainty level ul.
 func NewRandomScenario(n, m int, ul float64, seed int64) (*Scenario, error) {
-	return experiment.CaseSpec{
-		Name: "random", Kind: experiment.RandomGraph, N: n, M: m, UL: ul, Seed: seed,
-	}.BuildScenario()
+	return NewScenario(experiment.RandomFamily, n, m, ul, seed)
 }
 
 // NewCholeskyScenario builds the tiled-Cholesky DAG for a tiles×tiles
 // matrix on m processors (tiles = 3 gives the paper's 10-task graph).
 func NewCholeskyScenario(tiles, m int, ul float64, seed int64) (*Scenario, error) {
-	return experiment.CaseSpec{
-		Name: "cholesky", Kind: experiment.CholeskyGraph,
-		N: graphgen.CholeskyTaskCount(tiles), M: m, UL: ul, Seed: seed,
-	}.BuildScenario()
+	return NewScenario(experiment.CholeskyFamily, graphgen.CholeskyTaskCount(tiles), m, ul, seed)
 }
 
 // NewGaussElimScenario builds the Gaussian-elimination DAG for a
 // size×size matrix on m processors (size = 14 gives the paper's
 // ~103-task graph).
 func NewGaussElimScenario(size, m int, ul float64, seed int64) (*Scenario, error) {
-	return experiment.CaseSpec{
-		Name: "gausselim", Kind: experiment.GaussElimGraph,
-		N: graphgen.GaussElimTaskCount(size), M: m, UL: ul, Seed: seed,
-	}.BuildScenario()
+	return NewScenario(experiment.GaussElimFamily, graphgen.GaussElimTaskCount(size), m, ul, seed)
 }
 
 // RandomSchedule draws one random eager schedule by the paper's

@@ -26,6 +26,45 @@ func TestFacadeScenarios(t *testing.T) {
 	}
 }
 
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	fams := Families()
+	if len(fams) < 9 {
+		t.Fatalf("only %d workload families: %v", len(fams), fams)
+	}
+	for _, name := range []string{"random", "cholesky", "gausselim", "join",
+		"intree", "outtree", "seriesparallel", "fft", "strassen", "stg"} {
+		found := false
+		for _, f := range fams {
+			if f == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("family %q missing from Families(): %v", name, fams)
+			continue
+		}
+		n := 12
+		if name == "strassen" {
+			n = 25
+		}
+		scen, err := NewScenario(name, n, 3, 1.1, 7)
+		if err != nil {
+			t.Fatalf("NewScenario(%q, %d): %v", name, n, err)
+		}
+		if scen.G.N() == 0 || !scen.G.IsAcyclic() {
+			t.Errorf("NewScenario(%q): degenerate graph", name)
+		}
+	}
+	if _, err := NewScenario("no-such-family", 10, 3, 1.1, 1); err == nil {
+		t.Error("unknown family accepted")
+	}
+	// Unachievable sizes are errors, not clamped graphs.
+	if _, err := NewScenario("strassen", 100, 3, 1.1, 1); err == nil {
+		t.Error("unachievable strassen size accepted")
+	}
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
 	scen, err := NewCholeskyScenario(3, 3, 1.1, 42)
 	if err != nil {
