@@ -255,6 +255,65 @@ func BenchmarkSDHEFT(b *testing.B) {
 	}
 }
 
+// --- Scheduler kernels: old vs new at scale --------------------------------
+//
+// The acceptance pair of the compiled scheduling layer (mirroring the
+// Monte-Carlo kernel benches below): BenchmarkScheduler*Reference are
+// the retained Model-based implementations, BenchmarkScheduler* the
+// compiled CostModel/timeline rewrites. Both run on the same
+// 8-processor Cholesky scenarios; cmd/benchguard compares the pairs in
+// CI and fails on speedup regressions. Gated behind -short: the 50k
+// graphs take seconds per iteration.
+
+var schedulerBenchSizes = []int{1000, 10000, 50000}
+
+func benchSchedulerScenario(b *testing.B, n int) *Scenario {
+	b.Helper()
+	scen, err := NewScenario("cholesky", n, 8, 1.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return scen
+}
+
+func benchSchedulerSizes(b *testing.B, fn func(*Scenario) (HeuristicResult, error), sizes []int) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("large-N scheduler benches are skipped with -short")
+	}
+	for _, n := range sizes {
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			scen := benchSchedulerScenario(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(scen); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSchedulerHEFT(b *testing.B) {
+	benchSchedulerSizes(b, heuristics.HEFT, schedulerBenchSizes)
+}
+
+func BenchmarkSchedulerHEFTReference(b *testing.B) {
+	benchSchedulerSizes(b, heuristics.ReferenceHEFT, schedulerBenchSizes)
+}
+
+func BenchmarkSchedulerHBMCT(b *testing.B) {
+	benchSchedulerSizes(b, heuristics.HBMCT, schedulerBenchSizes)
+}
+
+// Reference HBMCT replays the whole placement sequence after every
+// tentative move (quadratic) and materializes the n² reachability
+// bitset (314 MB at n=50k), so its bench stops at n=1000; the ratio at
+// that size already tells the story (~300×).
+func BenchmarkSchedulerHBMCTReference(b *testing.B) {
+	benchSchedulerSizes(b, heuristics.ReferenceHBMCT, []int{1000})
+}
+
 func BenchmarkRandomSchedule(b *testing.B) {
 	scen := benchRandom30(b)
 	rng := rand.New(rand.NewSource(9))

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseText(t *testing.T, text string) map[string]*result {
+	t.Helper()
+	results := make(map[string]*result)
+	parse(strings.NewReader(text), results)
+	return results
+}
+
+func TestParsePairsPlainAndJSON(t *testing.T) {
+	plain := `goos: linux
+BenchmarkSchedulerHEFT/N=1000-8         	     100	   1000000 ns/op
+BenchmarkSchedulerHEFTReference/N=1000-8	      10	   9000000 ns/op
+`
+	jsonStream := `{"Action":"output","Output":"BenchmarkSchedulerHEFT/N=1000-8 \t100\t1000000 ns/op\n"}
+{"Action":"output","Output":"BenchmarkSchedulerHEFTReference/N=1000-8 \t10\t9000000 ns/op\n"}
+`
+	for name, input := range map[string]string{"plain": plain, "json": jsonStream} {
+		results := parseText(t, input)
+		r := results["SchedulerHEFT/N=1000"]
+		if r == nil || !r.hasNew || !r.hasRef {
+			t.Fatalf("%s: pair not assembled: %+v", name, r)
+		}
+		if r.newNs != 1e6 || r.refNs != 9e6 {
+			t.Fatalf("%s: wrong ns/op: new=%v ref=%v", name, r.newNs, r.refNs)
+		}
+	}
+}
+
+func TestEvaluateEnforcesFamilyLargestSize(t *testing.T) {
+	// HBMCT only pairs at N=1000 (< at), but as its family's largest
+	// size it must still be enforced.
+	results := map[string]*result{
+		"SchedulerHEFT/N=50000":  {newNs: 1e6, refNs: 10e6, hasNew: true, hasRef: true},
+		"SchedulerHBMCT/N=1000":  {newNs: 1e6, refNs: 1.5e6, hasNew: true, hasRef: true},
+		"SchedulerHBMCT/N=100":   {newNs: 1e6, refNs: 1.1e6, hasNew: true, hasRef: true}, // below family max: informational
+		"SchedulerHBMCT/N=50000": {newNs: 1e6, hasNew: true},                             // compiled-only size: fine, family pairs elsewhere
+	}
+	report, failed := evaluate(results, 2, 10000)
+	if !failed {
+		t.Fatalf("HBMCT at its largest size (1.5x < 2x) should fail:\n%s", report)
+	}
+	if !strings.Contains(report, "SchedulerHBMCT/N=1000 ") || !strings.Contains(report, "FAIL") {
+		t.Fatalf("report should mark the HBMCT pair:\n%s", report)
+	}
+	if strings.Contains(report, "SchedulerHBMCT/N=50000") {
+		t.Fatalf("incomplete pairs must not appear in the table:\n%s", report)
+	}
+
+	// Raising the HBMCT ratio above the floor clears the failure even
+	// though its N stays below -at.
+	results["SchedulerHBMCT/N=1000"].refNs = 3e6
+	if report, failed := evaluate(results, 2, 10000); failed {
+		t.Fatalf("all enforced pairs meet 2x, should pass:\n%s", report)
+	}
+}
+
+func TestEvaluateAtThresholdStillApplies(t *testing.T) {
+	results := map[string]*result{
+		"SchedulerHEFT/N=10000": {newNs: 1e6, refNs: 1.5e6, hasNew: true, hasRef: true},
+		"SchedulerHEFT/N=50000": {newNs: 1e6, refNs: 10e6, hasNew: true, hasRef: true},
+	}
+	if report, failed := evaluate(results, 2, 10000); !failed {
+		t.Fatalf("N=10000 >= at must be enforced even though 50000 is the family max:\n%s", report)
+	}
+}
+
+func TestEvaluateDetachedFamilyFails(t *testing.T) {
+	// A rename that detaches one side of a family (here the reference
+	// kept the old name, the compiled series moved to a new one) must
+	// fail even though other families still pair up and pass.
+	results := map[string]*result{
+		"SchedulerHBMCT/N=1000":   {newNs: 1e6, refNs: 3e6, hasNew: true, hasRef: true},
+		"SchedulerHEFT/N=50000":   {refNs: 10e6, hasRef: true},
+		"SchedulerHEFTv2/N=50000": {newNs: 1e6, hasNew: true},
+	}
+	report, failed := evaluate(results, 2, 10000)
+	if !failed {
+		t.Fatalf("detached HEFT family should fail:\n%s", report)
+	}
+	for _, fam := range []string{"SchedulerHEFT ", "SchedulerHEFTv2 "} {
+		if !strings.Contains(report, fam) {
+			t.Fatalf("report should name detached family %q:\n%s", fam, report)
+		}
+	}
+}
+
+func TestEvaluateNoPairs(t *testing.T) {
+	if report, _ := evaluate(map[string]*result{"X/N=10": {hasNew: true}}, 2, 10000); report != "" {
+		t.Fatalf("expected empty report for no complete pairs, got:\n%s", report)
+	}
+}

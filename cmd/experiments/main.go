@@ -50,6 +50,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -82,7 +84,58 @@ func main() {
 	sweepSizes := flag.String("sweep-sizes", "10,30,100", "comma-separated task counts for -fig sweep")
 	sweepULs := flag.String("sweep-uls", "1.01,1.1", "comma-separated uncertainty levels for -fig sweep")
 	sweepReps := flag.Int("sweep-reps", 1, "instances per (family, size, UL) cell for -fig sweep")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the last figure")
 	flag.Parse()
+
+	// Profiles capture real sweep runs for perf work (go tool pprof).
+	// flushProfiles runs on every exit path that goes through main —
+	// normal return, figure errors and the graceful single Ctrl-C all
+	// yield usable profiles; only the immediate double-Ctrl-C os.Exit
+	// abandons them.
+	var flushers []func()
+	flushProfiles := func() {
+		for i := len(flushers) - 1; i >= 0; i-- {
+			flushers[i]()
+		}
+		flushers = nil
+	}
+	defer flushProfiles()
+	fatalf := func(format string, args ...any) {
+		flushProfiles()
+		log.Fatalf(format, args...)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		flushers = append(flushers, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		})
+	}
+	if *memprofile != "" {
+		flushers = append(flushers, func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		})
+	}
 
 	cfg := experiment.DefaultConfig()
 	if *full {
@@ -102,7 +155,7 @@ func main() {
 		cfg.MCBlockSize = *mcBlock
 	}
 	if err := cfg.ValidateMC(); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
@@ -113,11 +166,11 @@ func main() {
 	// existing read-only directory, so probe with a real write.
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		probe, err := os.CreateTemp(*out, ".writable-*")
 		if err != nil {
-			log.Fatalf("output directory not writable: %v", err)
+			fatalf("output directory not writable: %v", err)
 		}
 		probe.Close()
 		os.Remove(probe.Name())
@@ -141,7 +194,7 @@ func main() {
 	env := &runEnv{ctx: ctx, cfg: cfg, outDir: *out, json: *jsonOut}
 	var err error
 	if env.sweep, err = parseSweep(*families, *sweepSizes, *sweepULs, *sweepReps); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	if *cacheDir == "" && *resume {
 		*cacheDir = ".experiments-cache"
@@ -149,7 +202,7 @@ func main() {
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		log.Printf("case cache at %s", cache.Dir())
 		env.opts.Cache = cache
@@ -167,10 +220,10 @@ func main() {
 	}
 	for _, f := range figs {
 		if ctx.Err() != nil {
-			log.Fatalf("interrupted before figure %s", f)
+			fatalf("interrupted before figure %s", f)
 		}
 		if err := env.runFig(strings.TrimSpace(f)); err != nil {
-			log.Fatalf("fig %s: %v", f, err)
+			fatalf("fig %s: %v", f, err)
 		}
 	}
 }

@@ -1,0 +1,82 @@
+package dag
+
+// CSR is a compiled, flat view of a Graph: predecessor and successor
+// adjacency in compressed-sparse-row form with a shared edge numbering,
+// so hot scheduling loops can replace per-edge map lookups and
+// pointer-chasing slices with contiguous array walks. Edge ids are
+// assigned in successor-iteration order: tasks 0..n-1, each task's
+// Succ() list in adjacency order. The predecessor side lists the same
+// edges from the consumer's point of view, preserving the graph's
+// Pred() ordering — downstream evaluators accumulate floating-point
+// maxima in adjacency order, so both orderings must survive the
+// flattening bit-for-bit.
+type CSR struct {
+	NumTasks int
+	NumEdges int
+
+	SuccStart []int32 // len NumTasks+1: task t's successors live at [SuccStart[t], SuccStart[t+1])
+	SuccAdj   []int32 // successor task ids, in Succ() order
+	SuccEdge  []int32 // edge id of each successor entry
+
+	PredStart []int32 // len NumTasks+1
+	PredAdj   []int32 // predecessor task ids, in Pred() order
+	PredEdge  []int32 // edge id of each predecessor entry
+
+	Vol []float64 // communication volume per edge id
+}
+
+// CSR flattens the graph. The result shares nothing with the Graph and
+// stays valid if the Graph is mutated afterwards.
+func (g *Graph) CSR() *CSR {
+	n := g.n
+	e := len(g.vol)
+	c := &CSR{
+		NumTasks:  n,
+		NumEdges:  e,
+		SuccStart: make([]int32, n+1),
+		SuccAdj:   make([]int32, 0, e),
+		SuccEdge:  make([]int32, 0, e),
+		PredStart: make([]int32, n+1),
+		PredAdj:   make([]int32, 0, e),
+		PredEdge:  make([]int32, 0, e),
+		Vol:       make([]float64, e),
+	}
+	edgeID := make(map[[2]Task]int32, e)
+	var id int32
+	for t := 0; t < n; t++ {
+		c.SuccStart[t] = int32(len(c.SuccAdj))
+		for _, s := range g.succ[t] {
+			key := [2]Task{Task(t), s}
+			edgeID[key] = id
+			c.Vol[id] = g.vol[key]
+			c.SuccAdj = append(c.SuccAdj, int32(s))
+			c.SuccEdge = append(c.SuccEdge, id)
+			id++
+		}
+	}
+	c.SuccStart[n] = int32(len(c.SuccAdj))
+	for t := 0; t < n; t++ {
+		c.PredStart[t] = int32(len(c.PredAdj))
+		for _, p := range g.pred[t] {
+			c.PredAdj = append(c.PredAdj, int32(p))
+			c.PredEdge = append(c.PredEdge, edgeID[[2]Task{p, Task(t)}])
+		}
+	}
+	c.PredStart[n] = int32(len(c.PredAdj))
+	return c
+}
+
+// Depths returns, for each task, its topological depth (the Levels()
+// of the source graph): 0 for sources, otherwise 1 + max over
+// predecessors. order must be a valid topological order of the CSR.
+func (c *CSR) Depths(order []Task) []int32 {
+	depth := make([]int32, c.NumTasks)
+	for _, t := range order {
+		for k := c.PredStart[t]; k < c.PredStart[t+1]; k++ {
+			if d := depth[c.PredAdj[k]] + 1; d > depth[t] {
+				depth[t] = d
+			}
+		}
+	}
+	return depth
+}

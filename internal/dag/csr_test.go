@@ -1,0 +1,103 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDAG builds a random DAG with edges from lower to higher index.
+func randomDAG(n int, density float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				_ = g.AddEdge(Task(i), Task(j), rng.Float64()*10)
+			}
+		}
+	}
+	return g
+}
+
+func TestCSRMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(2+rng.Intn(40), 0.2, rng)
+		c := g.CSR()
+		if c.NumTasks != g.N() || c.NumEdges != g.EdgeCount() {
+			t.Fatalf("CSR dims %d/%d, want %d/%d", c.NumTasks, c.NumEdges, g.N(), g.EdgeCount())
+		}
+		for task := 0; task < g.N(); task++ {
+			succ := g.Succ(Task(task))
+			lo, hi := c.SuccStart[task], c.SuccStart[task+1]
+			if int(hi-lo) != len(succ) {
+				t.Fatalf("task %d: %d CSR succs, want %d", task, hi-lo, len(succ))
+			}
+			for i, s := range succ {
+				k := lo + int32(i)
+				if Task(c.SuccAdj[k]) != s {
+					t.Fatalf("task %d succ %d: CSR order diverges from Succ()", task, i)
+				}
+				if c.Vol[c.SuccEdge[k]] != g.Volume(Task(task), s) {
+					t.Fatalf("edge (%d,%d): volume mismatch", task, s)
+				}
+			}
+			pred := g.Pred(Task(task))
+			plo, phi := c.PredStart[task], c.PredStart[task+1]
+			if int(phi-plo) != len(pred) {
+				t.Fatalf("task %d: %d CSR preds, want %d", task, phi-plo, len(pred))
+			}
+			for i, p := range pred {
+				k := plo + int32(i)
+				if Task(c.PredAdj[k]) != p {
+					t.Fatalf("task %d pred %d: CSR order diverges from Pred()", task, i)
+				}
+				if c.Vol[c.PredEdge[k]] != g.Volume(p, Task(task)) {
+					t.Fatalf("edge (%d,%d): pred-side volume mismatch", p, task)
+				}
+			}
+		}
+	}
+}
+
+// Both adjacency sides of the CSR must reference the same edge id for
+// the same (from, to) pair — cost tables are indexed by edge id from
+// both directions.
+func TestCSREdgeIDsShared(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomDAG(30, 0.3, rng)
+	c := g.CSR()
+	succID := make(map[[2]int32]int32)
+	for task := 0; task < c.NumTasks; task++ {
+		for k := c.SuccStart[task]; k < c.SuccStart[task+1]; k++ {
+			succID[[2]int32{int32(task), c.SuccAdj[k]}] = c.SuccEdge[k]
+		}
+	}
+	for task := 0; task < c.NumTasks; task++ {
+		for k := c.PredStart[task]; k < c.PredStart[task+1]; k++ {
+			want, ok := succID[[2]int32{c.PredAdj[k], int32(task)}]
+			if !ok || c.PredEdge[k] != want {
+				t.Fatalf("edge (%d,%d): pred edge id %d, succ side %d",
+					c.PredAdj[k], task, c.PredEdge[k], want)
+			}
+		}
+	}
+}
+
+func TestCSRDepthsMatchLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomDAG(50, 0.15, rng)
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := g.CSR().Depths(order)
+	for i := range levels {
+		if int(depths[i]) != levels[i] {
+			t.Fatalf("task %d: CSR depth %d, Levels %d", i, depths[i], levels[i])
+		}
+	}
+}

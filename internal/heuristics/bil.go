@@ -3,6 +3,7 @@ package heuristics
 import (
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/schedule"
 )
 
 // BIL implements the Best Imaginary Level heuristic of Oh & Ha for
@@ -18,41 +19,40 @@ import (
 // and placed on the processor minimizing its (revised) BIM. When more
 // tasks are ready than processors, the BIM is inflated by the expected
 // queuing factor w(i,p)·(#ready/m − 1) as in the original paper.
+//
+// Compiled implementation, bit-identical to ReferenceBIL.
 func BIL(scen *platform.Scenario) (Result, error) {
-	m := NewModel(scen)
-	g := scen.G
-	n := g.N()
-	nProc := scen.P.M
-
-	order, err := g.TopoOrder()
+	cm, err := NewCostModel(scen)
 	if err != nil {
 		return Result{}, err
 	}
+	n, m := cm.N, cm.M
+	csr := cm.csr
 
-	// Bottom-up computation of BIL(i,p).
-	bil := make([][]float64, n)
-	for i := range bil {
-		bil[i] = make([]float64, nProc)
-	}
-	for idx := len(order) - 1; idx >= 0; idx-- {
-		t := order[idx]
-		for p := 0; p < nProc; p++ {
+	// Bottom-up computation of BIL(i,p), flat n×m row-major.
+	bil := make([]float64, n*m)
+	for idx := n - 1; idx >= 0; idx-- {
+		t := cm.order[idx]
+		row := bil[int(t)*m : int(t)*m+m]
+		for p := 0; p < m; p++ {
 			best := 0.0
-			for _, k := range g.Succ(t) {
+			for j := csr.SuccStart[t]; j < csr.SuccStart[t+1]; j++ {
+				k := csr.SuccAdj[j]
+				krow := bil[int(k)*m : int(k)*m+m]
 				// Cheapest continuation of k: stay on p (no comm) or the
 				// best other processor plus the communication cost.
 				minOther := -1.0
-				for q := 0; q < nProc; q++ {
+				for q := 0; q < m; q++ {
 					if q == p {
 						continue
 					}
-					if minOther < 0 || bil[k][q] < minOther {
-						minOther = bil[k][q]
+					if minOther < 0 || krow[q] < minOther {
+						minOther = krow[q]
 					}
 				}
-				cont := bil[k][p]
+				cont := krow[p]
 				if minOther >= 0 {
-					if alt := minOther + m.AvgComm(t, k); alt < cont {
+					if alt := minOther + cm.EdgeAvgComm[csr.SuccEdge[j]]; alt < cont {
 						cont = alt
 					}
 				}
@@ -60,34 +60,54 @@ func BIL(scen *platform.Scenario) (Result, error) {
 					best = cont
 				}
 			}
-			bil[t][p] = m.MeanETC[t][p] + best
+			row[p] = cm.MeanETC[int(t)*m+p] + best
 		}
 	}
 
-	// List scheduling driven by BIM.
-	b := newBuilder(m)
-	indeg := make([]int, n)
+	// List scheduling driven by BIM, append mode.
+	sched := schedule.New(n, m)
+	start := make([]float64, n)
+	finish := make([]float64, n)
+	procReady := make([]float64, m)
+	for i := range start {
+		start[i] = -1
+	}
+	// estAppend mirrors builder.estAppend on the flat model.
+	estAppend := func(t dag.Task, p int) float64 {
+		est := procReady[p]
+		for k := csr.PredStart[t]; k < csr.PredStart[t+1]; k++ {
+			pr := csr.PredAdj[k]
+			arr := finish[pr] + cm.Comm(csr.PredEdge[k], sched.Proc[pr], p)
+			if arr > est {
+				est = arr
+			}
+		}
+		return est
+	}
+
+	indeg := make([]int32, n)
 	var ready []dag.Task
 	for t := 0; t < n; t++ {
-		indeg[t] = len(g.Pred(dag.Task(t)))
+		indeg[t] = csr.PredStart[t+1] - csr.PredStart[t]
 		if indeg[t] == 0 {
 			ready = append(ready, dag.Task(t))
 		}
 	}
-	bims := make([]float64, nProc)
+	bims := make([]float64, m)
+	scratch := make([]float64, m)
 	for len(ready) > 0 {
 		k := len(ready)
-		if k > nProc {
-			k = nProc
+		if k > m {
+			k = m
 		}
 		// Select the ready task with the largest k-th smallest BIM.
 		bestIdx := -1
 		bestPriority := 0.0
 		for idx, t := range ready {
-			for p := 0; p < nProc; p++ {
-				bims[p] = b.estAppend(t, p) + bil[t][p]
+			for p := 0; p < m; p++ {
+				bims[p] = estAppend(t, p) + bil[int(t)*m+p]
 			}
-			prio := kthSmallest(bims, k)
+			prio := kthSmallest(bims, k, scratch)
 			if bestIdx < 0 || prio > bestPriority ||
 				(prio == bestPriority && t < ready[bestIdx]) {
 				bestIdx, bestPriority = idx, prio
@@ -98,43 +118,62 @@ func BIL(scen *platform.Scenario) (Result, error) {
 		ready = ready[:len(ready)-1]
 
 		// Processor choice: minimize the (revised) BIM.
-		overload := float64(len(ready)+1)/float64(nProc) - 1
+		overload := float64(len(ready)+1)/float64(m) - 1
 		bestProc := -1
 		bestVal := 0.0
 		bestStart := 0.0
-		for p := 0; p < nProc; p++ {
-			est := b.estAppend(t, p)
-			val := est + bil[t][p]
+		for p := 0; p < m; p++ {
+			est := estAppend(t, p)
+			val := est + bil[int(t)*m+p]
 			if overload > 0 {
-				val += m.MeanETC[t][p] * overload
+				val += cm.MeanETC[int(t)*m+p] * overload
 			}
 			if bestProc < 0 || val < bestVal {
 				bestProc, bestVal, bestStart = p, val, est
 			}
 		}
-		b.place(t, bestProc, bestStart)
-		for _, s := range g.Succ(t) {
+		// Commit (append mode), mirroring builder.place.
+		sched.Assign(t, bestProc)
+		start[t] = bestStart
+		finish[t] = bestStart + cm.MeanETC[int(t)*m+bestProc]
+		if finish[t] > procReady[bestProc] {
+			procReady[bestProc] = finish[t]
+		}
+		for j := csr.SuccStart[t]; j < csr.SuccStart[t+1]; j++ {
+			s := csr.SuccAdj[j]
 			indeg[s]--
 			if indeg[s] == 0 {
-				ready = append(ready, s)
+				ready = append(ready, dag.Task(s))
 			}
 		}
 	}
-	return Result{Schedule: b.sched, Makespan: b.makespan()}, nil
+	var ms float64
+	for i, st := range start {
+		if st >= 0 && finish[i] > ms {
+			ms = finish[i]
+		}
+	}
+	return Result{Schedule: sched, Makespan: ms}, nil
 }
 
 // kthSmallest returns the k-th smallest value of xs (1-based) without
-// mutating xs; k is clamped to [1, len(xs)]. Linear scan — nProc is
-// small.
-func kthSmallest(xs []float64, k int) float64 {
+// mutating xs; k is clamped to [1, len(xs)]. A scratch buffer of
+// cap ≥ len(xs) avoids the copy allocation. Selection by repeated min
+// extraction — nProc is small.
+func kthSmallest(xs []float64, k int, scratch []float64) float64 {
 	if k < 1 {
 		k = 1
 	}
 	if k > len(xs) {
 		k = len(xs)
 	}
-	// Selection by repeated min extraction on a small copy.
-	tmp := append([]float64(nil), xs...)
+	var tmp []float64
+	if cap(scratch) >= len(xs) {
+		tmp = scratch[:len(xs)]
+		copy(tmp, xs)
+	} else {
+		tmp = append([]float64(nil), xs...)
+	}
 	for i := 0; i < k; i++ {
 		minIdx := i
 		for j := i + 1; j < len(tmp); j++ {

@@ -1,9 +1,18 @@
 // Package heuristics implements the schedule generators of the paper:
 // the random 3-phase generator of §V and the three makespan-centric
 // list heuristics compared in the evaluation — HEFT (Topcuoglu et al.),
-// BIL (Oh & Ha) and Hyb.BMCT (Sakellariou & Zhao). All heuristics work
-// on mean durations under the Beta(2,5)/UL uncertainty model; with a
-// constant UL this is equivalent to using the minimum durations.
+// BIL (Oh & Ha) and Hyb.BMCT (Sakellariou & Zhao) — plus the CPOP and
+// SDHEFT extensions. All heuristics work on mean durations under the
+// Beta(2,5)/UL uncertainty model; with a constant UL this is
+// equivalent to using the minimum durations.
+//
+// Each heuristic exists twice: the exported entry points (HEFT, BIL,
+// HBMCT, CPOP, SDHEFT) run on the compiled CostModel — flat CSR
+// adjacency, precomputed per-edge communication costs, gap-indexed
+// processor timelines — and the Reference* functions in reference.go
+// retain the original Model-based implementations. The two are
+// bit-identical by construction (same float operations in the same
+// order), enforced by the equivalence harness in equivalence_test.go.
 package heuristics
 
 import (
@@ -16,7 +25,8 @@ import (
 
 // Model precomputes the deterministic (mean) costs every list heuristic
 // needs: the mean ETC matrix, per-task processor-averaged durations and
-// placement-agnostic mean communication costs.
+// placement-agnostic mean communication costs. It is the uncompiled
+// counterpart of CostModel, kept as the equivalence oracle.
 type Model struct {
 	Scen    *platform.Scenario
 	MeanETC [][]float64 // n×m mean durations
@@ -89,85 +99,23 @@ func (m *Model) UpwardRanks() ([]float64, error) {
 	return rank, nil
 }
 
-// RankOrder returns the tasks sorted by decreasing upward rank (ties by
-// index), which is always a valid topological order.
+// RankOrder returns the tasks sorted by decreasing upward rank. Ties
+// are broken by topological position, not task index: ranks strictly
+// decrease along edges only while durations are positive, so with
+// zero-duration tasks an index tie-break could order a successor
+// before its predecessor and break every downstream consumer that
+// assumes a precedence-compatible order. The result is always a valid
+// topological order.
 func (m *Model) RankOrder() ([]dag.Task, error) {
 	rank, err := m.UpwardRanks()
 	if err != nil {
 		return nil, err
 	}
-	tasks := make([]dag.Task, len(rank))
-	for i := range tasks {
-		tasks[i] = dag.Task(i)
+	pos, err := topoPositions(m.Scen.G)
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(tasks, func(a, b int) bool {
-		ra, rb := rank[tasks[a]], rank[tasks[b]]
-		if ra != rb {
-			return ra > rb
-		}
-		return tasks[a] < tasks[b]
-	})
-	return tasks, nil
-}
-
-// builder incrementally constructs an eager schedule while tracking
-// start/finish times under mean durations. Tasks must be fed in a
-// precedence-compatible order.
-type builder struct {
-	model  *Model
-	sched  *schedule.Schedule
-	start  []float64
-	finish []float64
-	ready  []float64 // per-processor next-free time (append mode)
-}
-
-func newBuilder(m *Model) *builder {
-	n := m.Scen.G.N()
-	b := &builder{
-		model:  m,
-		sched:  schedule.New(n, m.Scen.P.M),
-		start:  make([]float64, n),
-		finish: make([]float64, n),
-		ready:  make([]float64, m.Scen.P.M),
-	}
-	for i := range b.start {
-		b.start[i] = -1
-	}
-	return b
-}
-
-// estAppend returns the earliest start of t on p in append mode: data
-// arrival from all predecessors plus the processor's free time.
-func (b *builder) estAppend(t dag.Task, p int) float64 {
-	est := b.ready[p]
-	for _, pr := range b.model.Scen.G.Pred(t) {
-		arr := b.finish[pr] + b.model.MeanComm(pr, t, b.sched.Proc[pr], p)
-		if arr > est {
-			est = arr
-		}
-	}
-	return est
-}
-
-// place commits t to p with the given start time (append mode).
-func (b *builder) place(t dag.Task, p int, start float64) {
-	b.sched.Assign(t, p)
-	b.start[t] = start
-	b.finish[t] = start + b.model.MeanETC[t][p]
-	if b.finish[t] > b.ready[p] {
-		b.ready[p] = b.finish[t]
-	}
-}
-
-// makespan returns the latest finish among placed tasks.
-func (b *builder) makespan() float64 {
-	var ms float64
-	for i, st := range b.start {
-		if st >= 0 && b.finish[i] > ms {
-			ms = b.finish[i]
-		}
-	}
-	return ms
+	return sortByRankDesc(rank, pos), nil
 }
 
 // Result bundles a heuristic's schedule with its predicted (mean)
@@ -177,14 +125,84 @@ type Result struct {
 	Makespan float64 // heuristic's own mean-duration makespan estimate
 }
 
-// sortOrdersByStart normalizes each processor's order by start time
-// (needed after insertion-based placement).
-func sortOrdersByStart(s *schedule.Schedule, start []float64) {
-	for p := range s.Order {
-		ord := s.Order[p]
-		sort.SliceStable(ord, func(i, j int) bool { return start[ord[i]] < start[ord[j]] })
+// topoPositions returns each task's index in the deterministic
+// topological order — the precedence-compatible tie-break for equal
+// start times.
+func topoPositions(g *dag.Graph) ([]int32, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
 	}
+	pos := make([]int32, len(order))
+	for i, t := range order {
+		pos[t] = int32(i)
+	}
+	return pos, nil
+}
+
+// buildFromPlacement converts a task→processor assignment plus start
+// times into a Schedule whose per-processor orders follow the start
+// times. Equal start times — possible only between zero-duration
+// tasks, which occupy the same instant — are broken by topological
+// position (pos): breaking them by placement order could emit a
+// successor before its predecessor on the same processor, making the
+// disjunctive graph cyclic.
+func buildFromPlacement(pos []int32, nProc int, proc []int, start []float64) *schedule.Schedule {
+	n := len(proc)
+	s := schedule.New(n, nProc)
+	byProc := make([][]dag.Task, nProc)
+	for t := 0; t < n; t++ {
+		byProc[proc[t]] = append(byProc[proc[t]], dag.Task(t))
+	}
+	for p := range byProc {
+		ord := byProc[p]
+		sort.SliceStable(ord, func(i, j int) bool {
+			si, sj := start[ord[i]], start[ord[j]]
+			if si != sj {
+				return si < sj
+			}
+			return pos[ord[i]] < pos[ord[j]]
+		})
+		for _, t := range ord {
+			s.Assign(t, p)
+		}
+	}
+	return s
 }
 
 // almostLE is a float comparison helper tolerant to timing round-off.
 func almostLE(a, b float64) bool { return a <= b+1e-9 }
+
+// ByName returns the heuristic with the given name ("heft", "bil",
+// "hbmct", "cpop", "sdheft"), or nil.
+func ByName(name string) func(*platform.Scenario) (Result, error) {
+	switch name {
+	case "heft", "HEFT":
+		return HEFT
+	case "bil", "BIL":
+		return BIL
+	case "hbmct", "HBMCT", "hyb.bmct", "Hyb.BMCT":
+		return HBMCT
+	case "cpop", "CPOP":
+		return CPOP
+	case "sdheft", "SDHEFT":
+		return func(s *platform.Scenario) (Result, error) { return SDHEFT(s, 1) }
+	default:
+		return nil
+	}
+}
+
+// All returns the three heuristics of the paper in presentation order.
+func All() []struct {
+	Name string
+	Fn   func(*platform.Scenario) (Result, error)
+} {
+	return []struct {
+		Name string
+		Fn   func(*platform.Scenario) (Result, error)
+	}{
+		{"BIL", BIL},
+		{"HEFT", HEFT},
+		{"HBMCT", HBMCT},
+	}
+}

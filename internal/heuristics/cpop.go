@@ -13,26 +13,24 @@ import (
 // rank_u + rank_d; every task on the critical path is pinned to the
 // single processor that executes the whole path fastest, and the
 // remaining tasks are placed by earliest finish time with insertion.
+//
+// Compiled implementation, bit-identical to ReferenceCPOP.
 func CPOP(scen *platform.Scenario) (Result, error) {
-	m := NewModel(scen)
-	g := scen.G
-	n := g.N()
-	nProc := scen.P.M
+	cm, err := NewCostModel(scen)
+	if err != nil {
+		return Result{}, err
+	}
+	n, m := cm.N, cm.M
+	csr := cm.csr
 
-	rankU, err := m.UpwardRanks()
-	if err != nil {
-		return Result{}, err
-	}
-	order, err := g.TopoOrder()
-	if err != nil {
-		return Result{}, err
-	}
+	rankU := cm.UpwardRanks()
 	// rank_d: longest average-cost path from an entry node (excluding
 	// the task itself).
 	rankD := make([]float64, n)
-	for _, t := range order {
-		for _, p := range g.Pred(t) {
-			cand := rankD[p] + m.AvgDur[p] + m.AvgComm(p, t)
+	for _, t := range cm.order {
+		for k := csr.PredStart[t]; k < csr.PredStart[t+1]; k++ {
+			p := csr.PredAdj[k]
+			cand := rankD[p] + cm.AvgDur[p] + cm.EdgeAvgComm[csr.PredEdge[k]]
 			if cand > rankD[t] {
 				rankD[t] = cand
 			}
@@ -45,17 +43,18 @@ func CPOP(scen *platform.Scenario) (Result, error) {
 
 	// The critical path: start from the highest-priority entry task,
 	// repeatedly follow the highest-priority successor.
+	isSource := func(t int) bool { return csr.PredStart[t] == csr.PredStart[t+1] }
 	cpLen := 0.0
-	for _, t := range g.Sources() {
-		if prio[t] > cpLen {
+	for t := 0; t < n; t++ {
+		if isSource(t) && prio[t] > cpLen {
 			cpLen = prio[t]
 		}
 	}
 	onCP := make([]bool, n)
 	var cur dag.Task = -1
-	for _, t := range g.Sources() {
-		if prio[t] >= cpLen-1e-9 {
-			cur = t
+	for t := 0; t < n; t++ {
+		if isSource(t) && prio[t] >= cpLen-1e-9 {
+			cur = dag.Task(t)
 			break
 		}
 	}
@@ -63,9 +62,10 @@ func CPOP(scen *platform.Scenario) (Result, error) {
 		onCP[cur] = true
 		var next dag.Task = -1
 		best := -1.0
-		for _, s := range g.Succ(cur) {
+		for k := csr.SuccStart[cur]; k < csr.SuccStart[cur+1]; k++ {
+			s := csr.SuccAdj[k]
 			if prio[s] > best {
-				best, next = prio[s], s
+				best, next = prio[s], dag.Task(s)
 			}
 		}
 		cur = next
@@ -74,11 +74,11 @@ func CPOP(scen *platform.Scenario) (Result, error) {
 	// The critical-path processor minimizes the total execution time
 	// of the critical tasks.
 	cpProc, cpCost := 0, -1.0
-	for p := 0; p < nProc; p++ {
+	for p := 0; p < m; p++ {
 		var sum float64
 		for t := 0; t < n; t++ {
 			if onCP[t] {
-				sum += m.MeanETC[t][p]
+				sum += cm.MeanETC[t*m+p]
 			}
 		}
 		if cpCost < 0 || sum < cpCost {
@@ -87,64 +87,69 @@ func CPOP(scen *platform.Scenario) (Result, error) {
 	}
 
 	// Priority-queue list scheduling with insertion-based placement.
-	slots := make([][]slot, nProc)
+	tls := newTimelines(m)
 	start := make([]float64, n)
 	finish := make([]float64, n)
 	proc := make([]int, n)
-	indeg := make([]int, n)
+	indeg := make([]int32, n)
 	pq := &taskPQ{prio: prio}
 	for t := 0; t < n; t++ {
-		indeg[t] = len(g.Pred(dag.Task(t)))
+		indeg[t] = csr.PredStart[t+1] - csr.PredStart[t]
 		if indeg[t] == 0 {
-			heap.Push(pq, dag.Task(t))
+			pq.push(dag.Task(t))
 		}
 	}
 	var makespan float64
 	for pq.Len() > 0 {
-		t := heap.Pop(pq).(dag.Task)
+		t := pq.pop()
+		pLo, pHi := csr.PredStart[t], csr.PredStart[t+1]
 		est := func(p int) float64 {
 			v := 0.0
-			for _, pr := range g.Pred(t) {
-				arr := finish[pr] + m.MeanComm(pr, t, proc[pr], p)
+			for k := pLo; k < pHi; k++ {
+				pr := csr.PredAdj[k]
+				arr := finish[pr] + cm.Comm(csr.PredEdge[k], proc[pr], p)
 				if arr > v {
 					v = arr
 				}
 			}
 			return v
 		}
+		row := cm.MeanETC[int(t)*m:]
 		var chosen int
 		if onCP[t] {
 			chosen = cpProc
 		} else {
 			bestFinish := -1.0
-			for p := 0; p < nProc; p++ {
-				dur := m.MeanETC[t][p]
-				ft := insertionStart(slots[p], est(p), dur) + dur
+			for p := 0; p < m; p++ {
+				dur := row[p]
+				ft := tls[p].earliest(est(p), dur) + dur
 				if bestFinish < 0 || ft < bestFinish {
 					chosen, bestFinish = p, ft
 				}
 			}
 		}
-		dur := m.MeanETC[t][chosen]
-		st := insertionStart(slots[chosen], est(chosen), dur)
+		dur := row[chosen]
+		st := tls[chosen].earliest(est(chosen), dur)
 		proc[t] = chosen
 		start[t] = st
 		finish[t] = st + dur
-		slots[chosen] = insertSlot(slots[chosen], slot{start: st, finish: st + dur})
+		tls[chosen].add(slot{start: st, finish: st + dur})
 		if finish[t] > makespan {
 			makespan = finish[t]
 		}
-		for _, s := range g.Succ(t) {
+		for k := csr.SuccStart[t]; k < csr.SuccStart[t+1]; k++ {
+			s := csr.SuccAdj[k]
 			indeg[s]--
 			if indeg[s] == 0 {
-				heap.Push(pq, s)
+				pq.push(dag.Task(s))
 			}
 		}
 	}
-	return Result{Schedule: buildFromPlacement(n, nProc, proc, start), Makespan: makespan}, nil
+	return Result{Schedule: buildFromPlacement(cm.pos, m, proc, start), Makespan: makespan}, nil
 }
 
-// taskPQ is a max-heap of tasks by priority.
+// taskPQ is a max-heap of tasks by priority, shared by both CPOP
+// implementations.
 type taskPQ struct {
 	prio  []float64
 	tasks []dag.Task
@@ -167,3 +172,6 @@ func (q *taskPQ) Pop() interface{} {
 	q.tasks = old[:n-1]
 	return t
 }
+
+func (q *taskPQ) push(t dag.Task) { heap.Push(q, t) }
+func (q *taskPQ) pop() dag.Task   { return heap.Pop(q).(dag.Task) }

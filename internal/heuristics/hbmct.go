@@ -12,73 +12,92 @@ import (
 // tasks are moved off the processor that finishes the group last while
 // that improves the group's completion time (Balanced Minimum
 // Completion Time).
+//
+// Compiled implementation, bit-identical to ReferenceHBMCT, with two
+// structural differences that change complexity but not results:
+//
+//   - Grouping never materializes the O(n²)-bit reachability closure.
+//     Whether a task is connected to the current group is probed by a
+//     depth-first search bounded by the group's topological level
+//     window (independentGroupsCSR), so peak memory is O(n + e).
+//   - Timings are recomputed incrementally. A tentative assignment
+//     only affects tasks at or after the moved task in the placement
+//     sequence, and those are exactly the current group's members
+//     (groups are mutually independent internally and placed
+//     group-by-group), so every trial replays just the group from the
+//     processor-ready state captured at the group's start instead of
+//     replaying the whole sequence.
 func HBMCT(scen *platform.Scenario) (Result, error) {
-	m := NewModel(scen)
-	g := scen.G
-	n := g.N()
-	nProc := scen.P.M
-
-	order, err := m.RankOrder()
+	cm, err := NewCostModel(scen)
 	if err != nil {
 		return Result{}, err
 	}
-	reach := reachability(g)
-	groups := independentGroups(order, reach)
+	n, m := cm.N, cm.M
+	csr := cm.csr
+
+	order := cm.RankOrder()
+	depth := csr.Depths(cm.order)
+	groups := independentGroupsCSR(csr, order, depth)
 
 	proc := make([]int, n)
 	for i := range proc {
 		proc[i] = -1
 	}
-	// seq is the global placement order (rank order), used to recompute
-	// eager timings after every tentative move.
-	var seq []dag.Task
 	start := make([]float64, n)
 	finish := make([]float64, n)
+	ready := make([]float64, m)     // committed state incl. the placed group prefix
+	readyBase := make([]float64, m) // state at the start of the current group
+	scratch := make([]float64, m)   // replay buffer
 
-	// recompute replays the eager execution of seq under the current
-	// assignment, in append mode per processor.
-	recompute := func() float64 {
-		ready := make([]float64, nProc)
-		var ms float64
-		for _, t := range seq {
-			p := proc[t]
-			st := ready[p]
-			for _, pr := range g.Pred(t) {
-				arr := finish[pr] + m.MeanComm(pr, t, proc[pr], p)
-				if arr > st {
-					st = arr
-				}
-			}
-			start[t] = st
-			finish[t] = st + m.MeanETC[t][p]
-			ready[p] = finish[t]
-			if finish[t] > ms {
-				ms = finish[t]
+	// finishOn computes t's eager start/finish on p given the committed
+	// predecessor timings and the supplied per-processor ready state —
+	// the same arithmetic recompute performs at t's position.
+	finishOn := func(t dag.Task, p int, rdy []float64) (st, ft float64) {
+		st = rdy[p]
+		for k := csr.PredStart[t]; k < csr.PredStart[t+1]; k++ {
+			pr := csr.PredAdj[k]
+			arr := finish[pr] + cm.Comm(csr.PredEdge[k], proc[pr], p)
+			if arr > st {
+				st = arr
 			}
 		}
-		return ms
+		ft = st + cm.MeanETC[int(t)*m+p]
+		return st, ft
 	}
 
 	for _, group := range groups {
-		// Phase 1: initial MCT assignment in rank order.
+		copy(readyBase, ready)
+		// Phase 1: initial MCT assignment in rank order. Appending t
+		// leaves every earlier timing unchanged, so each trial is a
+		// single finishOn evaluation.
 		for _, t := range group {
-			seq = append(seq, t)
 			bestProc, bestFinish := -1, 0.0
-			for p := 0; p < nProc; p++ {
-				proc[t] = p
-				recompute()
-				if bestProc < 0 || finish[t] < bestFinish {
-					bestProc, bestFinish = p, finish[t]
+			for p := 0; p < m; p++ {
+				if _, ft := finishOn(t, p, ready); bestProc < 0 || ft < bestFinish {
+					bestProc, bestFinish = p, ft
 				}
 			}
 			proc[t] = bestProc
-			recompute()
+			st, ft := finishOn(t, bestProc, ready)
+			start[t], finish[t] = st, ft
+			ready[bestProc] = ft
 		}
-		if len(group) < 2 || nProc < 2 {
+		if len(group) < 2 || m < 2 {
 			continue
 		}
 		// Phase 2: BMCT rebalancing — move the group's last-finishing
-		// task while the group completion time improves.
+		// task while the group completion time improves. Group members
+		// have no predecessors inside the group, so a trial replays
+		// only the group from readyBase.
+		replayGroup := func() {
+			copy(scratch, readyBase)
+			for _, t := range group {
+				p := proc[t]
+				st, ft := finishOn(t, p, scratch)
+				start[t], finish[t] = st, ft
+				scratch[p] = ft
+			}
+		}
 		groupFinish := func() (dag.Task, float64) {
 			var worst dag.Task = -1
 			var ms float64
@@ -92,121 +111,131 @@ func HBMCT(scen *platform.Scenario) (Result, error) {
 		maxMoves := 2 * len(group)
 		for move := 0; move < maxMoves; move++ {
 			worst, cur := groupFinish()
+			if worst < 0 {
+				break // every task finishes at 0: nothing to improve
+			}
 			bestProc := proc[worst]
 			bestMs := cur
 			orig := proc[worst]
-			for p := 0; p < nProc; p++ {
+			for p := 0; p < m; p++ {
 				if p == orig {
 					continue
 				}
 				proc[worst] = p
-				recompute()
+				replayGroup()
 				if _, ms := groupFinish(); ms < bestMs-1e-12 {
 					bestMs, bestProc = ms, p
 				}
 			}
 			proc[worst] = bestProc
-			recompute()
+			replayGroup()
 			if bestProc == orig {
 				break
 			}
 		}
+		copy(ready, scratch)
 	}
 
-	ms := recompute()
-	s := buildFromPlacement(n, nProc, proc, start)
+	var ms float64
+	for _, f := range finish {
+		if f > ms {
+			ms = f
+		}
+	}
+	s := buildFromPlacement(cm.pos, m, proc, start)
 	return Result{Schedule: s, Makespan: ms}, nil
 }
 
-// reachability computes ancestor/descendant closure as bitsets:
-// reach[i] has bit j set when there is a path i → j.
-func reachability(g *dag.Graph) [][]uint64 {
-	n := g.N()
-	words := (n + 63) / 64
-	reach := make([][]uint64, n)
-	for i := range reach {
-		reach[i] = make([]uint64, words)
-	}
-	order, err := g.TopoOrder()
-	if err != nil {
-		return reach
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		t := order[i]
-		for _, s := range g.Succ(t) {
-			reach[t][int(s)/64] |= 1 << (uint(s) % 64)
-			for w := 0; w < words; w++ {
-				reach[t][w] |= reach[s][w]
-			}
-		}
-	}
-	return reach
-}
+// independentGroupsCSR splits a rank-ordered task list into maximal
+// consecutive groups of pairwise independent tasks — the same groups
+// independentGroups derives from the full reachability closure —
+// without ever materializing an n×n structure. Whether the next task
+// is connected to the current group is decided by two depth-first
+// probes pruned with topological depths: every ancestor of t lies on a
+// strictly smaller depth, every descendant on a strictly larger one,
+// so a probe abandons any branch that leaves the group's depth window
+// [minDepth, maxDepth]. Visited marks are epoch-stamped, so the probe
+// structures are allocated once.
+func independentGroupsCSR(csr *dag.CSR, order []dag.Task, depth []int32) [][]dag.Task {
+	n := csr.NumTasks
+	inGroup := make([]bool, n)
+	visited := make([]int32, n)
+	var epoch int32
+	stack := make([]int32, 0, 64)
 
-// connected reports whether a and b are related by a path in either
-// direction.
-func connected(reach [][]uint64, a, b dag.Task) bool {
-	if reach[a][int(b)/64]&(1<<(uint(b)%64)) != 0 {
-		return true
-	}
-	return reach[b][int(a)/64]&(1<<(uint(a)%64)) != 0
-}
-
-// independentGroups splits a rank-ordered task list into maximal
-// consecutive groups of pairwise independent tasks.
-func independentGroups(order []dag.Task, reach [][]uint64) [][]dag.Task {
 	var groups [][]dag.Task
 	var cur []dag.Task
-	for _, t := range order {
-		dependent := false
-		for _, u := range cur {
-			if connected(reach, t, u) {
-				dependent = true
-				break
+	var minDepth, maxDepth int32
+
+	// probe reports whether any task of the current group is reachable
+	// from t along pred edges (dir < 0) or succ edges (dir > 0).
+	probe := func(t dag.Task, dir int) bool {
+		epoch++
+		stack = stack[:0]
+		if dir < 0 {
+			for k := csr.PredStart[t]; k < csr.PredStart[t+1]; k++ {
+				stack = append(stack, csr.PredAdj[k])
+			}
+		} else {
+			for k := csr.SuccStart[t]; k < csr.SuccStart[t+1]; k++ {
+				stack = append(stack, csr.SuccAdj[k])
 			}
 		}
-		if dependent {
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[u] == epoch {
+				continue
+			}
+			visited[u] = epoch
+			if dir < 0 {
+				if depth[u] < minDepth {
+					continue // all further ancestors are shallower still
+				}
+				if inGroup[u] {
+					return true
+				}
+				for k := csr.PredStart[u]; k < csr.PredStart[u+1]; k++ {
+					stack = append(stack, csr.PredAdj[k])
+				}
+			} else {
+				if depth[u] > maxDepth {
+					continue // all further descendants are deeper still
+				}
+				if inGroup[u] {
+					return true
+				}
+				for k := csr.SuccStart[u]; k < csr.SuccStart[u+1]; k++ {
+					stack = append(stack, csr.SuccAdj[k])
+				}
+			}
+		}
+		return false
+	}
+
+	for _, t := range order {
+		if len(cur) > 0 && (probe(t, -1) || probe(t, +1)) {
 			groups = append(groups, cur)
+			for _, u := range cur {
+				inGroup[u] = false
+			}
 			cur = nil
 		}
+		if len(cur) == 0 {
+			minDepth, maxDepth = depth[t], depth[t]
+		} else {
+			if depth[t] < minDepth {
+				minDepth = depth[t]
+			}
+			if depth[t] > maxDepth {
+				maxDepth = depth[t]
+			}
+		}
 		cur = append(cur, t)
+		inGroup[t] = true
 	}
 	if len(cur) > 0 {
 		groups = append(groups, cur)
 	}
 	return groups
-}
-
-// ByName returns the heuristic with the given name ("heft", "bil",
-// "hbmct", "cpop", "sdheft"), or nil.
-func ByName(name string) func(*platform.Scenario) (Result, error) {
-	switch name {
-	case "heft", "HEFT":
-		return HEFT
-	case "bil", "BIL":
-		return BIL
-	case "hbmct", "HBMCT", "hyb.bmct", "Hyb.BMCT":
-		return HBMCT
-	case "cpop", "CPOP":
-		return CPOP
-	case "sdheft", "SDHEFT":
-		return func(s *platform.Scenario) (Result, error) { return SDHEFT(s, 1) }
-	default:
-		return nil
-	}
-}
-
-// All returns the three heuristics of the paper in presentation order.
-func All() []struct {
-	Name string
-	Fn   func(*platform.Scenario) (Result, error)
-} {
-	return []struct {
-		Name string
-		Fn   func(*platform.Scenario) (Result, error)
-	}{
-		{"BIL", BIL},
-		{"HEFT", HEFT},
-		{"HBMCT", HBMCT},
-	}
 }

@@ -1,104 +1,26 @@
 package heuristics
 
 import (
-	"sort"
-
-	"repro/internal/dag"
 	"repro/internal/platform"
-	"repro/internal/schedule"
 )
-
-// slot is a busy interval on a processor, used by insertion-based
-// placement.
-type slot struct{ start, finish float64 }
-
-// insertionStart returns the earliest start >= est on a processor whose
-// busy slots are sorted by start time, allowing insertion into idle
-// gaps large enough for dur.
-func insertionStart(slots []slot, est, dur float64) float64 {
-	cur := est
-	for _, s := range slots {
-		if almostLE(cur+dur, s.start) {
-			return cur
-		}
-		if s.finish > cur {
-			cur = s.finish
-		}
-	}
-	return cur
-}
-
-// insertSlot adds a busy interval keeping the slice sorted by start.
-func insertSlot(slots []slot, s slot) []slot {
-	idx := sort.Search(len(slots), func(i int) bool { return slots[i].start >= s.start })
-	slots = append(slots, slot{})
-	copy(slots[idx+1:], slots[idx:])
-	slots[idx] = s
-	return slots
-}
-
-// buildFromPlacement converts a task→processor assignment plus start
-// times into a Schedule whose per-processor orders follow the start
-// times.
-func buildFromPlacement(n, nProc int, proc []int, start []float64) *schedule.Schedule {
-	s := schedule.New(n, nProc)
-	byProc := make([][]dag.Task, nProc)
-	for t := 0; t < n; t++ {
-		byProc[proc[t]] = append(byProc[proc[t]], dag.Task(t))
-	}
-	for p := range byProc {
-		ord := byProc[p]
-		sort.SliceStable(ord, func(i, j int) bool { return start[ord[i]] < start[ord[j]] })
-		for _, t := range ord {
-			s.Assign(t, p)
-		}
-	}
-	return s
-}
 
 // HEFT implements the Heterogeneous Earliest Finish Time heuristic of
 // Topcuoglu, Hariri and Wu: tasks are prioritized by upward rank
 // (computed with processor-averaged durations and pair-averaged
 // communication costs) and each task is placed on the processor that
 // minimizes its earliest finish time, with insertion into idle gaps.
+//
+// This is the compiled implementation — CSR adjacency, precomputed
+// communication costs, gap-indexed timelines — and is bit-identical to
+// ReferenceHEFT.
 func HEFT(scen *platform.Scenario) (Result, error) {
-	m := NewModel(scen)
-	order, err := m.RankOrder()
+	cm, err := NewCostModel(scen)
 	if err != nil {
 		return Result{}, err
 	}
-	n := scen.G.N()
-	nProc := scen.P.M
-
-	slots := make([][]slot, nProc)
-	start := make([]float64, n)
-	finish := make([]float64, n)
-	proc := make([]int, n)
-
-	for _, t := range order {
-		bestProc, bestStart, bestFinish := -1, 0.0, 0.0
-		for p := 0; p < nProc; p++ {
-			est := 0.0
-			for _, pr := range scen.G.Pred(t) {
-				arr := finish[pr] + m.MeanComm(pr, t, proc[pr], p)
-				if arr > est {
-					est = arr
-				}
-			}
-			dur := m.MeanETC[t][p]
-			st := insertionStart(slots[p], est, dur)
-			ft := st + dur
-			if bestProc < 0 || ft < bestFinish {
-				bestProc, bestStart, bestFinish = p, st, ft
-			}
-		}
-		proc[t] = bestProc
-		start[t] = bestStart
-		finish[t] = bestFinish
-		slots[bestProc] = insertSlot(slots[bestProc], slot{start: bestStart, finish: bestFinish})
-	}
-
-	s := buildFromPlacement(n, nProc, proc, start)
+	order := cm.RankOrder()
+	proc, start, finish := placeByInsertion(cm.csr, cm.M, order, cm.MeanETC, cm.Comm)
+	s := buildFromPlacement(cm.pos, cm.M, proc, start)
 	var ms float64
 	for _, f := range finish {
 		if f > ms {

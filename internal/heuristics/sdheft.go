@@ -2,10 +2,10 @@ package heuristics
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/stochastic"
 )
 
 // SDHEFT is the robustness-aware list heuristic the paper proposes as
@@ -21,100 +21,77 @@ import (
 // SDHEFT reduces to HEFT (the equivalence the paper's §VII explains);
 // under variable per-task UL the two diverge and SDHEFT trades a
 // little expected makespan for lower makespan variance.
+//
+// Compiled implementation, bit-identical to ReferenceSDHEFT.
 func SDHEFT(scen *platform.Scenario, lambda float64) (Result, error) {
 	if lambda < 0 {
 		lambda = 0
 	}
-	g := scen.G
-	n := g.N()
-	nProc := scen.P.M
-
-	// Pessimistic cost tables: mean + λσ.
-	cost := make([][]float64, n)
-	avgCost := make([]float64, n)
-	for t := 0; t < n; t++ {
-		row := make([]float64, nProc)
-		var sum float64
-		for p := 0; p < nProc; p++ {
-			d := scen.TaskDist(dag.Task(t), p)
-			row[p] = d.Mean() + lambda*math.Sqrt(d.Variance())
-			sum += row[p]
-		}
-		cost[t] = row
-		avgCost[t] = sum / float64(nProc)
-	}
-	avgTau, avgLat := scen.P.AvgTau(), scen.P.AvgLat()
-	commCost := func(from, to dag.Task, pi, pj int) float64 {
-		d := scen.CommDist(from, to, pi, pj)
-		return d.Mean() + lambda*math.Sqrt(d.Variance())
-	}
-	avgCommCost := func(from, to dag.Task) float64 {
-		if nProc <= 1 {
-			return 0
-		}
-		d := scen.DurationAt(avgLat + g.Volume(from, to)*avgTau)
-		return d.Mean() + lambda*math.Sqrt(d.Variance())
-	}
-
-	// Upward ranks on pessimistic costs.
-	order, err := g.TopoOrder()
+	topo, err := newTopology(scen)
 	if err != nil {
 		return Result{}, err
 	}
+	g := scen.G
+	n := g.N()
+	m := scen.P.M
+	csr := topo.csr
+
+	// The pessimistic statistic that replaces the mean everywhere.
+	pess := func(d stochastic.Dist) float64 {
+		return d.Mean() + lambda*math.Sqrt(d.Variance())
+	}
+
+	// Pessimistic cost tables: mean + λσ, flat n×m row-major.
+	cost := make([]float64, n*m)
+	avgCost := make([]float64, n)
+	for t := 0; t < n; t++ {
+		row := cost[t*m : (t+1)*m]
+		var sum float64
+		for p := 0; p < m; p++ {
+			row[p] = pess(scen.TaskDist(dag.Task(t), p))
+			sum += row[p]
+		}
+		avgCost[t] = sum / float64(m)
+	}
+	// Pessimistic communication costs, precomputed per (class, edge) —
+	// BatchCommCosts with mean+λσ instead of the classic mean.
+	sdComm := scen.BatchCommCosts(topo.cc, csr.Vol, pess)
+	commCost := func(e int32, pi, pj int) float64 {
+		if c := topo.cc.Class[pi*m+pj]; c >= 0 {
+			return sdComm[c][e]
+		}
+		return 0
+	}
+	// Placement-agnostic pessimistic comm per edge.
+	edgeAvgComm := make([]float64, csr.NumEdges)
+	if m > 1 {
+		avgTau, avgLat := scen.P.AvgTau(), scen.P.AvgLat()
+		for e, vol := range csr.Vol {
+			edgeAvgComm[e] = pess(scen.DurationAt(avgLat + vol*avgTau))
+		}
+	}
+
+	// Upward ranks on pessimistic costs.
 	rank := make([]float64, n)
-	for i := len(order) - 1; i >= 0; i-- {
-		t := order[i]
+	for i := n - 1; i >= 0; i-- {
+		t := topo.order[i]
 		best := 0.0
-		for _, s := range g.Succ(t) {
-			if cand := avgCommCost(t, s) + rank[s]; cand > best {
+		for k := csr.SuccStart[t]; k < csr.SuccStart[t+1]; k++ {
+			if cand := edgeAvgComm[csr.SuccEdge[k]] + rank[csr.SuccAdj[k]]; cand > best {
 				best = cand
 			}
 		}
 		rank[t] = avgCost[t] + best
 	}
-	tasks := make([]dag.Task, n)
-	for i := range tasks {
-		tasks[i] = dag.Task(i)
-	}
-	sort.SliceStable(tasks, func(a, b int) bool {
-		ra, rb := rank[tasks[a]], rank[tasks[b]]
-		if ra != rb {
-			return ra > rb
-		}
-		return tasks[a] < tasks[b]
-	})
+	tasks := sortByRankDesc(rank, topo.pos)
 
 	// Insertion-based placement minimizing the pessimistic finish time.
-	slots := make([][]slot, nProc)
-	start := make([]float64, n)
-	finish := make([]float64, n)
-	proc := make([]int, n)
-	for _, t := range tasks {
-		bestProc, bestStart, bestFinish := -1, 0.0, 0.0
-		for p := 0; p < nProc; p++ {
-			est := 0.0
-			for _, pr := range g.Pred(t) {
-				arr := finish[pr] + commCost(pr, t, proc[pr], p)
-				if arr > est {
-					est = arr
-				}
-			}
-			dur := cost[t][p]
-			st := insertionStart(slots[p], est, dur)
-			if ft := st + dur; bestProc < 0 || ft < bestFinish {
-				bestProc, bestStart, bestFinish = p, st, ft
-			}
-		}
-		proc[t] = bestProc
-		start[t] = bestStart
-		finish[t] = bestFinish
-		slots[bestProc] = insertSlot(slots[bestProc], slot{start: bestStart, finish: bestFinish})
-	}
+	proc, start, finish := placeByInsertion(csr, m, tasks, cost, commCost)
 	var ms float64
 	for _, f := range finish {
 		if f > ms {
 			ms = f
 		}
 	}
-	return Result{Schedule: buildFromPlacement(n, nProc, proc, start), Makespan: ms}, nil
+	return Result{Schedule: buildFromPlacement(topo.pos, m, proc, start), Makespan: ms}, nil
 }
