@@ -323,6 +323,75 @@ func BenchmarkRandomSchedule(b *testing.B) {
 	}
 }
 
+// --- Case evaluation: old vs new at scale ----------------------------------
+//
+// The acceptance pair of the compiled evaluation layer (mirroring the
+// scheduler and MC-kernel pairs): BenchmarkEvalCaseReference is the
+// retained per-schedule pipeline — ReferenceEvaluateClassic plus
+// robustness.FromDistribution, each call re-validating, re-building the
+// disjunctive graph (three times across the two calls), re-discretizing
+// every distribution and allocating every intermediate density —
+// BenchmarkEvalCase the compiled EvalCache/EvalModel pipeline. Each
+// iteration evaluates the full metric vector of evalCaseSchedules
+// random schedules of one Cholesky case, the per-case unit of work of
+// the paper's core experiment. cmd/benchguard compares the pairs in CI
+// (-series '^EvalCase') and fails on regressions. Gated behind -short:
+// a 10k iteration is tens of seconds.
+
+var evalBenchSizes = []int{1000, 10000}
+
+const evalCaseSchedules = 2
+
+func benchEvalSchedules(b *testing.B, n int) (*Scenario, []*schedule.Schedule) {
+	b.Helper()
+	scen, err := NewScenario("cholesky", n, 8, 1.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	return scen, heuristics.RandomSchedules(scen, evalCaseSchedules, rng)
+}
+
+func benchEvalCaseSizes(b *testing.B, compiled bool, sizes []int) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("large-N evaluation benches are skipped with -short")
+	}
+	p := robustness.DefaultParams()
+	for _, n := range sizes {
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			scen, scheds := benchEvalSchedules(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if compiled {
+					cache := makespan.NewEvalCache(scen, 64)
+					for _, s := range scheds {
+						m, err := cache.Model(s)
+						if err != nil {
+							b.Fatal(err)
+						}
+						_ = m.Metrics(p)
+					}
+				} else {
+					for _, s := range scheds {
+						rv, err := makespan.ReferenceEvaluateClassic(scen, s, 64)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if _, err := robustness.FromDistribution(scen, s, rv, p); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvalCase(b *testing.B) { benchEvalCaseSizes(b, true, evalBenchSizes) }
+
+func BenchmarkEvalCaseReference(b *testing.B) { benchEvalCaseSizes(b, false, evalBenchSizes) }
+
 // --- Evaluation benches ------------------------------------------------------
 
 func BenchmarkEvaluateClassic(b *testing.B) {

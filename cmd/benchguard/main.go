@@ -58,7 +58,16 @@ func main() {
 	log.SetPrefix("benchguard: ")
 	minSpeedup := flag.Float64("min-speedup", 2, "required compiled/reference speedup factor")
 	at := flag.Int("at", 10000, "enforce all pairs with N >= this task count (each family's largest size is always enforced)")
+	series := flag.String("series", "", "regexp restricting which benchmark families this run considers (empty = all); lets CI apply different thresholds to e.g. the Scheduler and Eval tables over the same artifacts")
 	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *series != "" {
+		var err error
+		if filter, err = regexp.Compile(*series); err != nil {
+			log.Fatalf("bad -series: %v", err)
+		}
+	}
 
 	results := make(map[string]*result)
 	if flag.NArg() == 0 {
@@ -73,14 +82,28 @@ func main() {
 			f.Close()
 		}
 	}
+	filterSeries(results, filter)
 
 	report, failed := evaluate(results, *minSpeedup, *at)
 	if report == "" {
-		log.Fatal("no old-vs-new benchmark pairs found (did a rename detach the *Reference series?)")
+		log.Fatal("no old-vs-new benchmark pairs found (did a rename detach the *Reference series, or -series match nothing?)")
 	}
 	fmt.Print(report)
 	if failed {
-		log.Fatalf("speedup regression: compiled schedulers must stay >= %.1fx faster than the reference", *minSpeedup)
+		log.Fatalf("speedup regression: compiled implementations must stay >= %.2fx faster than the reference", *minSpeedup)
+	}
+}
+
+// filterSeries drops every series whose family name does not match the
+// filter (nil keeps everything).
+func filterSeries(results map[string]*result, filter *regexp.Regexp) {
+	if filter == nil {
+		return
+	}
+	for k := range results {
+		if !filter.MatchString(familyOf(k)) {
+			delete(results, k)
+		}
 	}
 }
 

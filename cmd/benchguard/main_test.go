@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -93,5 +94,32 @@ func TestEvaluateDetachedFamilyFails(t *testing.T) {
 func TestEvaluateNoPairs(t *testing.T) {
 	if report, _ := evaluate(map[string]*result{"X/N=10": {hasNew: true}}, 2, 10000); report != "" {
 		t.Fatalf("expected empty report for no complete pairs, got:\n%s", report)
+	}
+}
+
+func TestFilterSeries(t *testing.T) {
+	results := map[string]*result{
+		"SchedulerHEFT/N=10000": {newNs: 1e6, refNs: 1.5e6, hasNew: true, hasRef: true}, // would fail at 2x
+		"EvalCase/N=10000":      {newNs: 1e6, refNs: 3e6, hasNew: true, hasRef: true},
+	}
+	filterSeries(results, regexp.MustCompile(`^EvalCase$`))
+	if len(results) != 1 {
+		t.Fatalf("filter kept %d series, want 1", len(results))
+	}
+	report, failed := evaluate(results, 2, 10000)
+	if failed {
+		t.Fatalf("filtered run must only judge the Eval series:\n%s", report)
+	}
+	if !strings.Contains(report, "EvalCase/N=10000") {
+		t.Fatalf("report lost the kept series:\n%s", report)
+	}
+	// A nil filter keeps everything.
+	all := map[string]*result{
+		"A/N=1": {newNs: 1, refNs: 1, hasNew: true, hasRef: true},
+		"B/N=1": {newNs: 1, refNs: 1, hasNew: true, hasRef: true},
+	}
+	filterSeries(all, nil)
+	if len(all) != 2 {
+		t.Fatal("nil filter must keep all series")
 	}
 }

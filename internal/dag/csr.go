@@ -66,6 +66,55 @@ func (g *Graph) CSR() *CSR {
 	return c
 }
 
+// SortedCSR flattens the graph with every adjacency row sorted by task
+// index — exactly the adjacency order of g.Clone(), which inserts edges
+// in Edges()'s (from, to) order. The disjunctive evaluation model is
+// specified against the cloned graph's iteration order (its
+// floating-point accumulations follow adjacency order), so compiled
+// evaluators consume this view rather than the insertion-ordered CSR.
+// Edge ids are assigned in sorted (from, to) order.
+func (g *Graph) SortedCSR() *CSR {
+	n := g.n
+	edges := g.Edges()
+	e := len(edges)
+	c := &CSR{
+		NumTasks:  n,
+		NumEdges:  e,
+		SuccStart: make([]int32, n+1),
+		SuccAdj:   make([]int32, e),
+		SuccEdge:  make([]int32, e),
+		PredStart: make([]int32, n+1),
+		PredAdj:   make([]int32, e),
+		PredEdge:  make([]int32, e),
+		Vol:       make([]float64, e),
+	}
+	for _, ed := range edges {
+		c.SuccStart[ed.From+1]++
+		c.PredStart[ed.To+1]++
+	}
+	for t := 0; t < n; t++ {
+		c.SuccStart[t+1] += c.SuccStart[t]
+		c.PredStart[t+1] += c.PredStart[t]
+	}
+	succNext := append([]int32(nil), c.SuccStart[:n]...)
+	predNext := append([]int32(nil), c.PredStart[:n]...)
+	for id, ed := range edges {
+		c.Vol[id] = ed.Volume
+		k := succNext[ed.From]
+		succNext[ed.From]++
+		c.SuccAdj[k] = int32(ed.To)
+		c.SuccEdge[k] = int32(id)
+		// Edges are sorted by (from, to), so for a fixed consumer the
+		// producers arrive in ascending order — the cloned graph's
+		// Pred() order.
+		k = predNext[ed.To]
+		predNext[ed.To]++
+		c.PredAdj[k] = int32(ed.From)
+		c.PredEdge[k] = int32(id)
+	}
+	return c
+}
+
 // Depths returns, for each task, its topological depth (the Levels()
 // of the source graph): 0 for sources, otherwise 1 + max over
 // predecessors. order must be a valid topological order of the CSR.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graphgen"
 	"repro/internal/heuristics"
+	"repro/internal/makespan"
 	"repro/internal/platform"
 	"repro/internal/robustness"
 	"repro/internal/schedule"
@@ -503,10 +504,11 @@ func TestDiracJoinCaseConstantColumns(t *testing.T) {
 	cfg := testConfig()
 	rng := rand.New(rand.NewSource(3))
 	scheds := heuristics.RandomSchedules(scen, 12, rng)
+	cache := makespan.NewEvalCache(scen, cfg.GridSize)
 	metrics := make([]robustness.Metrics, len(scheds))
 	for i, s := range scheds {
 		var err error
-		metrics[i], err = evaluateOne(scen, s, cfg)
+		metrics[i], err = evaluateOne(cache, s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

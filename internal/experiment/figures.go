@@ -11,6 +11,7 @@ import (
 	"repro/internal/numeric"
 	"repro/internal/platform"
 	"repro/internal/schedule"
+	"repro/internal/seeds"
 	"repro/internal/stats"
 	"repro/internal/stochastic"
 )
@@ -55,24 +56,33 @@ func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
 		}
 	}
 	var rows []Fig1Row
-	for si, n := range sizes {
+	for _, n := range sizes {
+		// Every seed is derived from the size's identity, not its slice
+		// position: reordering `sizes` cannot change any row, and the
+		// per-schedule Monte-Carlo streams can never collide with
+		// another size's scenario or schedule streams (the additive
+		// spec.Seed+k scheme could).
 		spec := CaseSpec{
 			Name: fmt.Sprintf("fig1-n%d", n), Family: RandomFamily,
-			N: n, M: procsFor(n), UL: 1.1, Seed: cfg.Seed + int64(si)*77,
+			N: n, M: procsFor(n), UL: 1.1,
+			Seed: seeds.Derive(cfg.Seed, fmt.Sprintf("fig1/n%d", n)),
 		}
 		scen, err := spec.BuildScenario()
 		if err != nil {
 			return nil, err
 		}
-		rng := rand.New(rand.NewSource(spec.Seed + 13))
+		cache := makespan.NewEvalCache(scen, cfg.GridSize)
+		rng := rand.New(rand.NewSource(seeds.Derive(spec.Seed, "fig1-schedules")))
+		mcSeeds := seeds.NewFamily(spec.Seed, "fig1-mc")
 		var ksSum, cmSum float64
 		for k := 0; k < schedulesPerSize; k++ {
 			s := heuristics.RandomSchedule(scen, rng)
-			rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+			model, err := cache.Model(s)
 			if err != nil {
 				return nil, err
 			}
-			emp, err := makespan.MonteCarloWith(scen, s, cfg.MCRealizations, spec.Seed+int64(k), mcOpts)
+			rv := model.Classic()
+			emp, err := makespan.MonteCarloWith(scen, s, cfg.MCRealizations, mcSeeds.Seed(k), mcOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -246,19 +256,17 @@ func Fig9(cfg Config, n int) ([]Fig9Row, error) {
 		UL: 1.5,
 	}
 	sink := dag.Task(n)
+	cache := makespan.NewEvalCache(scen, cfg.GridSize)
 
 	build := func(name string, assign func(s *schedule.Schedule)) (Fig9Row, error) {
 		s := schedule.New(n+1, n)
 		assign(s)
-		rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+		model, err := cache.Model(s)
 		if err != nil {
 			return Fig9Row{}, fmt.Errorf("experiment: fig9 %s: %w", name, err)
 		}
-		m, err := evaluateOne(scen, s, cfg)
-		if err != nil {
-			return Fig9Row{}, fmt.Errorf("experiment: fig9 %s: %w", name, err)
-		}
-		return Fig9Row{Name: name, Slack: m.AvgSlack, StdDev: rv.StdDev(), Makespan: rv.Mean()}, nil
+		m := model.Metrics(cfg.params())
+		return Fig9Row{Name: name, Slack: m.AvgSlack, StdDev: m.StdDev, Makespan: m.Makespan}, nil
 	}
 
 	specs := []struct {

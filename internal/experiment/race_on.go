@@ -1,0 +1,10 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports that this binary was built with the race
+// detector; scale-gate tests (TestSweepCase10k) skip themselves under
+// it — the detector's ~10-20x slowdown turns a minutes-long case into
+// hours, and the concurrency it would patrol is already covered by the
+// race run of the smaller cases.
+const raceEnabled = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/heuristics"
 	"repro/internal/makespan"
@@ -65,13 +66,16 @@ func InvertedColumns(ms []robustness.Metrics) [][]float64 {
 }
 
 // evaluateOne computes the metric vector of one schedule under the
-// classical makespan evaluation.
-func evaluateOne(scen *platform.Scenario, s *schedule.Schedule, cfg Config) (robustness.Metrics, error) {
-	rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+// classical makespan evaluation, through the case's shared compiled
+// evaluation cache: the disjunctive structure is built once per
+// schedule and every distinct duration/communication distribution is
+// discretized once per case.
+func evaluateOne(cache *makespan.EvalCache, s *schedule.Schedule, cfg Config) (robustness.Metrics, error) {
+	m, err := cache.Model(s)
 	if err != nil {
 		return robustness.Metrics{}, err
 	}
-	return robustness.FromDistribution(scen, s, rv, cfg.params())
+	return m.Metrics(cfg.params()), nil
 }
 
 // RunCase executes one correlation case: it generates the scenario,
@@ -97,6 +101,7 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 	// flight.
 	var (
 		scen   *platform.Scenario
+		cache  *makespan.EvalCache
 		scheds []*schedule.Schedule
 	)
 	err := pool.Batch(ctx, 1, func(int) error {
@@ -105,6 +110,7 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 		if err != nil {
 			return err
 		}
+		cache = makespan.NewEvalCache(scen, cfg.GridSize)
 		rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
 		scheds = heuristics.RandomSchedules(scen, cfg.schedulesFor(scen.G.N()), rng)
 		return nil
@@ -117,7 +123,7 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 	metrics := make([]robustness.Metrics, nSched)
 	err = pool.Batch(ctx, nSched, func(i int) error {
 		var err error
-		metrics[i], err = evaluateOne(scen, scheds[i], cfg)
+		metrics[i], err = evaluateOne(cache, scheds[i], cfg)
 		return err
 	})
 	if err != nil {
@@ -127,8 +133,12 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 	res := &CaseResult{Spec: spec, Metrics: metrics}
 	// The heuristic evaluations go through the pool too: each costs as
 	// much as a schedule job, and running them on the case goroutine
-	// would let a wide sweep exceed the -workers bound.
+	// would let a wide sweep exceed the -workers bound. Rows are
+	// emitted in stable-name order, so the result — and any JSON or
+	// report rendered from it — does not depend on the heuristics'
+	// registration order (the PR 3 iota-key lesson applied to rows).
 	hs := heuristics.All()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
 	hres := make([]HeuristicResult, len(hs))
 	err = pool.Batch(ctx, len(hs), func(i int) error {
 		h := hs[i]
@@ -136,7 +146,7 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 		if err != nil {
 			return fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
 		}
-		m, err := evaluateOne(scen, hr.Schedule, cfg)
+		m, err := evaluateOne(cache, hr.Schedule, cfg)
 		if err != nil {
 			return fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)
 		}

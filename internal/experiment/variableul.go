@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/heuristics"
+	"repro/internal/makespan"
 	"repro/internal/platform"
 	"repro/internal/robustness"
 	"repro/internal/stats"
@@ -55,11 +56,12 @@ type SDHEFTPoint struct {
 // Pearson(E(M), σ_M) over them.
 func runCorr(scen *platform.Scenario, nSched int, seed int64, cfg Config) (float64, error) {
 	rng := rand.New(rand.NewSource(seed))
+	cache := makespan.NewEvalCache(scen, cfg.GridSize)
 	mk := make([]float64, 0, nSched)
 	sd := make([]float64, 0, nSched)
 	for i := 0; i < nSched; i++ {
 		s := heuristics.RandomSchedule(scen, rng)
-		m, err := evaluateOne(scen, s, cfg)
+		m, err := evaluateOne(cache, s, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -98,11 +100,12 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 		return nil, err
 	}
 
+	varCache := makespan.NewEvalCache(varScen, cfg.GridSize)
 	hr, err := heuristics.HEFT(varScen)
 	if err != nil {
 		return nil, err
 	}
-	hm, err := evaluateOne(varScen, hr.Schedule, cfg)
+	hm, err := evaluateOne(varCache, hr.Schedule, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +113,7 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sm, err := evaluateOne(varScen, sr.Schedule, cfg)
+	sm, err := evaluateOne(varCache, sr.Schedule, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +125,7 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		pm, err := evaluateOne(varScen, pr.Schedule, cfg)
+		pm, err := evaluateOne(varCache, pr.Schedule, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -140,11 +143,12 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 
 	// Noisy-processor study (mean-equalized stable vs noisy machines).
 	noisy := base.WithNoisyProcessors(1.02, 2.0)
+	noisyCache := makespan.NewEvalCache(noisy, cfg.GridSize)
 	nh, err := heuristics.HEFT(noisy)
 	if err != nil {
 		return nil, err
 	}
-	nhm, err := evaluateOne(noisy, nh.Schedule, cfg)
+	nhm, err := evaluateOne(noisyCache, nh.Schedule, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +156,7 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	nsm, err := evaluateOne(noisy, ns.Schedule, cfg)
+	nsm, err := evaluateOne(noisyCache, ns.Schedule, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -185,9 +189,10 @@ func OscillatingDurationsCase(cfg Config) (*CaseResult, error) {
 	nSched := cfg.schedulesFor(scen.G.N())
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
 	scheds := heuristics.RandomSchedules(scen, nSched, rng)
+	cache := makespan.NewEvalCache(scen, cfg.GridSize)
 	metrics := make([]robustness.Metrics, nSched)
 	for i, s := range scheds {
-		m, err := evaluateOne(scen, s, cfg)
+		m, err := evaluateOne(cache, s, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,14 @@
 // central-limit approximation (realized with Clark's moment formulas
 // for the maximum of normals). The Monte-Carlo ground truth lives in
 // the schedule package; this package wraps it for convenience.
+//
+// Evaluation is compiled: EvalCache/EvalModel hold everything shared
+// per scenario and per schedule, so the paper's core experiment —
+// hundreds of metric vectors per case — builds the disjunctive
+// structure once per schedule and discretizes each distinct
+// distribution once per case. The Reference* entry points retain the
+// uncompiled implementations; the equivalence harness keeps the
+// compiled classic path bit-identical to them.
 package makespan
 
 import (
@@ -47,9 +55,9 @@ func (m Method) String() string {
 	}
 }
 
-// evalContext precomputes everything the evaluators share: the
-// disjunctive topological order and per-arc minimum communication
-// times.
+// evalContext precomputes what the reference evaluators share: the
+// disjunctive topological order and per-arc communication
+// distributions.
 type evalContext struct {
 	scen  *platform.Scenario
 	sched *schedule.Schedule
@@ -72,24 +80,21 @@ func newEvalContext(scen *platform.Scenario, s *schedule.Schedule) (*evalContext
 	return &evalContext{scen: scen, sched: s, dg: dg, order: order}, nil
 }
 
-// minComm returns the minimum communication time along disjunctive arc
-// p→t (0 for co-located tasks and for pure sequencing arcs).
-func (c *evalContext) minComm(p, t dag.Task) float64 {
-	return c.scen.P.MinCommTime(c.dg.Volume(p, t), c.sched.Proc[p], c.sched.Proc[t])
+// commDist returns the communication distribution of disjunctive arc
+// p→t and whether the arc drops out of the evaluation. The skip
+// decision is zeroCommArc — the one place the rule lives — which
+// replaced the historical minComm > 0 guard (and its duplicate inside
+// the RV constructor) that silently dropped stochastic zero-minimum
+// links.
+func (c *evalContext) commDist(p, t dag.Task) (stochastic.Dist, bool) {
+	d := c.scen.CommDist(p, t, c.sched.Proc[p], c.sched.Proc[t])
+	return d, zeroCommArc(d)
 }
 
 // durRV returns the numeric duration variable of task t on its
 // assigned processor.
 func (c *evalContext) durRV(t dag.Task, gridSize int) *stochastic.Numeric {
 	return stochastic.FromDist(c.scen.TaskDist(t, c.sched.Proc[t]), gridSize)
-}
-
-// commRV returns the numeric communication variable of arc p→t.
-func (c *evalContext) commRV(p, t dag.Task, gridSize int) *stochastic.Numeric {
-	if c.minComm(p, t) <= 0 {
-		return stochastic.NewPoint(0)
-	}
-	return stochastic.FromDist(c.scen.CommDist(p, t, c.sched.Proc[p], c.sched.Proc[t]), gridSize)
 }
 
 // Evaluate computes the makespan distribution of schedule s under
@@ -112,13 +117,29 @@ func Evaluate(scen *platform.Scenario, s *schedule.Schedule, m Method, gridSize 
 	}
 }
 
-// EvaluateClassic runs the classical algorithm: in disjunctive
-// topological order, each task's completion distribution is the
-// maximum (CDF product) over its predecessors' completion-plus-
-// communication distributions (convolutions), plus its own duration.
-// All intermediate variables are treated as independent — exact for
-// in-trees, an approximation otherwise (§II).
+// EvaluateClassic runs the classical algorithm through the compiled
+// evaluation model. One-shot convenience: callers evaluating many
+// schedules of one scenario should build an EvalCache once and request
+// a Model per schedule, which amortizes the per-case tables.
+// Bit-identical to ReferenceEvaluateClassic.
 func EvaluateClassic(scen *platform.Scenario, s *schedule.Schedule, gridSize int) (*stochastic.Numeric, error) {
+	m, err := NewEvalCache(scen, gridSize).Model(s)
+	if err != nil {
+		return nil, err
+	}
+	return m.Classic(), nil
+}
+
+// ReferenceEvaluateClassic is the retained uncompiled classical
+// algorithm: in disjunctive topological order, each task's completion
+// distribution is the maximum (CDF product) over its predecessors'
+// completion-plus-communication distributions (convolutions), plus its
+// own duration. All intermediate variables are treated as independent —
+// exact for in-trees, an approximation otherwise (§II). It validates
+// and clones the disjunctive graph and discretizes every distribution
+// per call; the equivalence harness holds EvalModel.Classic
+// bit-identical to it.
+func ReferenceEvaluateClassic(scen *platform.Scenario, s *schedule.Schedule, gridSize int) (*stochastic.Numeric, error) {
 	ctx, err := newEvalContext(scen, s)
 	if err != nil {
 		return nil, err
@@ -132,8 +153,8 @@ func EvaluateClassic(scen *platform.Scenario, s *schedule.Schedule, gridSize int
 		start := stochastic.NewPoint(0)
 		for _, p := range ctx.dg.Pred(t) {
 			arrival := completion[p]
-			if min := ctx.minComm(p, t); min > 0 {
-				arrival = arrival.Add(ctx.commRV(p, t, gridSize), gridSize)
+			if d, skip := ctx.commDist(p, t); !skip {
+				arrival = arrival.Add(stochastic.FromDist(d, gridSize), gridSize)
 			}
 			start = start.MaxWith(arrival, gridSize)
 		}

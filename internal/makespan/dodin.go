@@ -3,7 +3,6 @@ package makespan
 import (
 	"fmt"
 
-	"repro/internal/dag"
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/stochastic"
@@ -328,7 +327,7 @@ func EvaluateDodinStrict(scen *platform.Scenario, s *schedule.Schedule, gridSize
 }
 
 func evaluateDodin(scen *platform.Scenario, s *schedule.Schedule, gridSize int) (*stochastic.Numeric, error) {
-	ctx, err := newEvalContext(scen, s)
+	m, err := NewEvalCache(scen, gridSize).Model(s)
 	if err != nil {
 		return nil, err
 	}
@@ -336,24 +335,30 @@ func evaluateDodin(scen *platform.Scenario, s *schedule.Schedule, gridSize int) 
 		gridSize = stochastic.DefaultGridSize
 	}
 	g := newRVGraph(gridSize)
-	n := scen.G.N()
+	d := m.d
+	n := d.N
 	ids := make([]int, n)
 	for t := 0; t < n; t++ {
-		ids[t] = g.addNode(ctx.durRV(dag.Task(t), gridSize))
+		// Cached duration variables are shared, never mutated: the
+		// reduction always replaces node/edge RVs with fresh results.
+		ids[t] = g.addNode(m.dur[t].numeric(gridSize))
 	}
 	// Unique source and sink so the reduction converges to one node.
 	source := g.addNode(stochastic.NewPoint(0))
 	sink := g.addNode(stochastic.NewPoint(0))
 	for t := 0; t < n; t++ {
-		task := dag.Task(t)
-		if len(ctx.dg.Pred(task)) == 0 {
+		if d.PredStart[t+1] == d.PredStart[t] {
 			g.addEdge(source, ids[t], stochastic.NewPoint(0))
 		}
-		if len(ctx.dg.Succ(task)) == 0 {
+		if d.SuccStart[t+1] == d.SuccStart[t] {
 			g.addEdge(ids[t], sink, stochastic.NewPoint(0))
 		}
-		for _, p := range ctx.dg.Pred(task) {
-			g.addEdge(ids[p], ids[t], ctx.commRV(p, task, gridSize))
+		for k := d.PredStart[t]; k < d.PredStart[t+1]; k++ {
+			comm := stochastic.NewPoint(0)
+			if e := m.comm[k]; e != nil {
+				comm = e.numeric(gridSize)
+			}
+			g.addEdge(ids[d.PredTask[k]], ids[t], comm)
 		}
 	}
 	// Node budget: generous enough to unshare small graphs completely,

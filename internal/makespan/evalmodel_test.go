@@ -1,0 +1,415 @@
+package makespan_test
+
+// The equivalence harness of the compiled evaluation layer, in the
+// style of the PR 4 scheduler harness: EvalModel must be bit-identical
+// to the retained reference evaluators — Classic densities and slack
+// vectors bitwise, Spelde moments exactly — on every registered
+// workload family, across sizes, uncertainty levels and seeds, plus
+// the §VIII scenario extensions and degenerate inputs. This is what
+// licenses the shared-EvalModel refactor to claim zero behavior
+// change; the zero-latency differential test at the bottom pins the
+// one deliberate behavior change (the corrected zero-min comm guard)
+// against the Monte-Carlo ground truth.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/experiment"
+	"repro/internal/heuristics"
+	"repro/internal/makespan"
+	"repro/internal/platform"
+	"repro/internal/robustness"
+	"repro/internal/schedule"
+	"repro/internal/stochastic"
+)
+
+// assertSameRV fails unless the two distributions are structurally and
+// bitwise equal.
+func assertSameRV(t *testing.T, label string, got, want *stochastic.Numeric) {
+	t.Helper()
+	if got.IsPoint() != want.IsPoint() || got.Lo() != want.Lo() || got.Hi() != want.Hi() {
+		t.Fatalf("%s: support differs: point=%v [%v,%v], want point=%v [%v,%v]",
+			label, got.IsPoint(), got.Lo(), got.Hi(), want.IsPoint(), want.Lo(), want.Hi())
+	}
+	gp, wp := got.PDFGrid(), want.PDFGrid()
+	if len(gp) != len(wp) {
+		t.Fatalf("%s: grid size %d != %d", label, len(gp), len(wp))
+	}
+	for i := range wp {
+		if gp[i] != wp[i] {
+			t.Fatalf("%s: density diverges at %d: %g != %g", label, i, gp[i], wp[i])
+		}
+	}
+}
+
+// referenceSlacks computes the slack vector exactly the way
+// robustness.fillSlack does: on the re-built mean-value disjunctive
+// graph.
+func referenceSlacks(t *testing.T, scen *platform.Scenario, s *schedule.Schedule) []float64 {
+	t.Helper()
+	dg, err := s.Disjunctive(scen.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := scen.G.N()
+	nodeW := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nodeW[i] = scen.MeanTask(dag.Task(i), s.Proc[i])
+	}
+	edgeW := func(from, to dag.Task) float64 {
+		return scen.MeanComm(from, to, s.Proc[from], s.Proc[to])
+	}
+	slacks, err := dg.Slacks(nodeW, edgeW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slacks
+}
+
+// checkModelAgainstReferences runs every compiled evaluator against its
+// reference on one (scenario, schedule) pair, through a shared cache.
+func checkModelAgainstReferences(t *testing.T, label string, cache *makespan.EvalCache, s *schedule.Schedule, grid int) {
+	t.Helper()
+	scen := cache.Scenario()
+	m, err := cache.Model(s)
+	if err != nil {
+		t.Fatalf("%s: model: %v", label, err)
+	}
+	wantRV, err := makespan.ReferenceEvaluateClassic(scen, s, grid)
+	if err != nil {
+		t.Fatalf("%s: reference classic: %v", label, err)
+	}
+	assertSameRV(t, label+"/classic", m.Classic(), wantRV)
+
+	wantSp, err := makespan.ReferenceEvaluateSpelde(scen, s)
+	if err != nil {
+		t.Fatalf("%s: reference spelde: %v", label, err)
+	}
+	gotSp := m.Spelde()
+	if gotSp.Mean != wantSp.Mean || gotSp.Std != wantSp.Std {
+		t.Fatalf("%s: spelde (%v,%v) != reference (%v,%v)",
+			label, gotSp.Mean, gotSp.Std, wantSp.Mean, wantSp.Std)
+	}
+
+	wantSlacks := referenceSlacks(t, scen, s)
+	gotSlacks := m.Slacks()
+	if len(gotSlacks) != len(wantSlacks) {
+		t.Fatalf("%s: slack length %d != %d", label, len(gotSlacks), len(wantSlacks))
+	}
+	for i := range wantSlacks {
+		if gotSlacks[i] != wantSlacks[i] {
+			t.Fatalf("%s: slack diverges at task %d: %g != %g",
+				label, i, gotSlacks[i], wantSlacks[i])
+		}
+	}
+
+	// End-to-end metric vector: compiled model vs the reference
+	// FromDistribution on the (bit-identical) reference density.
+	p := robustness.Params{Delta: 0.1, Gamma: 1.0003, GridSize: grid}
+	gotM := m.Metrics(p)
+	wantM, err := robustness.FromDistribution(scen, s, wantRV, p)
+	if err != nil {
+		t.Fatalf("%s: reference metrics: %v", label, err)
+	}
+	if gotM != wantM {
+		t.Fatalf("%s: metric vector differs:\n  got  %+v\n  want %+v", label, gotM, wantM)
+	}
+}
+
+// TestEvalModelMatchesReference sweeps all registered workload families
+// × sizes × uncertainty levels × seeds. The n=1000 tier is quadratic
+// work for the reference evaluators, so it runs only without -short
+// (the weekly full CI job), one seed × one UL per family.
+func TestEvalModelMatchesReference(t *testing.T) {
+	sizes := []int{10, 100}
+	if !testing.Short() {
+		sizes = append(sizes, 1000)
+	}
+	uls := []float64{1.0, 1.5}
+	seeds := []int64{1, 2, 3}
+	for _, family := range experiment.FamilyNames() {
+		for _, n := range sizes {
+			cellULs, cellSeeds, schedsPer := uls, seeds, 2
+			if n >= 1000 {
+				cellULs, cellSeeds, schedsPer = uls[1:], seeds[:1], 1
+			}
+			for _, ul := range cellULs {
+				for _, seed := range cellSeeds {
+					spec := experiment.CaseSpec{
+						Name: "equiv", Family: family, N: n, M: 4, UL: ul, Seed: seed,
+					}
+					scen, err := spec.BuildScenario()
+					var se *experiment.SizeError
+					if errors.As(err, &se) {
+						continue // size off this family's grid
+					}
+					if err != nil {
+						t.Fatalf("%s/n=%d: %v", family, n, err)
+					}
+					cache := makespan.NewEvalCache(scen, 64)
+					rng := rand.New(rand.NewSource(seed * 977))
+					for k := 0; k < schedsPer; k++ {
+						label := family + "/n=" + itoa(n) + "/ul=" + ftoa(ul) +
+							"/seed=" + itoa(int(seed)) + "/sched=" + itoa(k)
+						s := heuristics.RandomSchedule(scen, rng)
+						checkModelAgainstReferences(t, label, cache, s, 64)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalModelUnderULExtensions pins the compiled evaluators against
+// the references on the §VIII scenario extensions, which exercise the
+// per-task (TaskUL), per-processor (ProcUL) and custom-DurFn branches
+// of the cache key.
+func TestEvalModelUnderULExtensions(t *testing.T) {
+	spec := experiment.CaseSpec{Name: "equiv-ext", Family: experiment.RandomFamily,
+		N: 60, M: 4, UL: 1.2, Seed: 11}
+	base, err := spec.BuildScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	durfn := *base
+	durfn.DurFn = func(min, ul float64) stochastic.Dist {
+		return stochastic.Uniform{Lo: min, Hi: min * ul}
+	}
+	scens := map[string]*platform.Scenario{
+		"variable-ul":  base.WithVariableUL(1.0, 2.0, rand.New(rand.NewSource(5))),
+		"noisy-procs":  base.WithNoisyProcessors(1.02, 2.0),
+		"custom-durfn": &durfn,
+	}
+	for name, scen := range scens {
+		cache := makespan.NewEvalCache(scen, 64)
+		rng := rand.New(rand.NewSource(21))
+		for k := 0; k < 2; k++ {
+			s := heuristics.RandomSchedule(scen, rng)
+			checkModelAgainstReferences(t, name+"/sched="+itoa(k), cache, s, 64)
+		}
+	}
+}
+
+// uniformScen builds a scenario with constant ETC over a uniform
+// zero-latency network.
+func uniformScen(g *dag.Graph, m int, etcVal, ul float64) *platform.Scenario {
+	n := g.N()
+	etc := make([][]float64, n)
+	for i := range etc {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = etcVal
+		}
+		etc[i] = row
+	}
+	tau, lat := platform.NewUniformNetwork(m, 1, 0)
+	return &platform.Scenario{
+		G:  g,
+		P:  &platform.Platform{M: m, ETC: etc, Tau: tau, Lat: lat},
+		UL: ul,
+	}
+}
+
+// TestEvalModelDegenerateInputs covers the evaluation edge cases:
+// a single-task graph, an all-Dirac (UL = 1) scenario, and a
+// zero-duration chain, each asserted exactly against the references.
+func TestEvalModelDegenerateInputs(t *testing.T) {
+	// Single task, no edges.
+	single := uniformScen(dag.New(1), 2, 10, 1.4)
+	s1 := schedule.New(1, 2)
+	s1.Assign(0, 1)
+	checkModelAgainstReferences(t, "single-task", makespan.NewEvalCache(single, 64), s1, 64)
+	rv, err := makespan.EvaluateClassic(single, s1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := single.TaskDist(0, 1)
+	if lo, _ := d.Support(); rv.Lo() != lo {
+		t.Errorf("single-task support starts at %g, want %g", rv.Lo(), lo)
+	}
+
+	// All-Dirac: UL = 1 collapses every distribution to a constant.
+	g := dag.New(4)
+	for _, e := range [][2]dag.Task{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1], 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	det := uniformScen(g, 2, 10, 1)
+	s2 := schedule.New(4, 2)
+	s2.Assign(0, 0)
+	s2.Assign(1, 0)
+	s2.Assign(2, 1)
+	s2.Assign(3, 0)
+	checkModelAgainstReferences(t, "all-dirac", makespan.NewEvalCache(det, 64), s2, 64)
+	rv, err = makespan.EvaluateClassic(det, s2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.IsPoint() {
+		t.Error("all-Dirac scenario must evaluate to a point distribution")
+	}
+
+	// Zero-duration chain: ETC = 0 keeps every duration Dirac(0) even
+	// under UL > 1 (the default family is multiplicative).
+	chain := dag.New(3)
+	if err := chain.AddEdge(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.AddEdge(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	zero := uniformScen(chain, 2, 0, 1.5)
+	s3 := schedule.New(3, 2)
+	s3.Assign(0, 0)
+	s3.Assign(1, 1)
+	s3.Assign(2, 0)
+	checkModelAgainstReferences(t, "zero-chain", makespan.NewEvalCache(zero, 64), s3, 64)
+	rv, err = makespan.EvaluateClassic(zero, s3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.IsPoint() || rv.Lo() != 0 {
+		t.Errorf("zero-duration chain makespan = %v, want point at 0", rv)
+	}
+}
+
+// TestEvalCacheConcurrentSchedules evaluates many schedules of one case
+// in parallel against a single shared cache — the RunCaseOn access
+// pattern — and requires every result to stay bit-identical to the
+// reference (races in the cache or buffer recycling would corrupt
+// densities; `go test -race` patrols the locking).
+func TestEvalCacheConcurrentSchedules(t *testing.T) {
+	spec := experiment.CaseSpec{Name: "conc", Family: experiment.CholeskyFamily,
+		N: 35, M: 3, UL: 1.3, Seed: 13}
+	scen, err := spec.BuildScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	scheds := heuristics.RandomSchedules(scen, 16, rng)
+	cache := makespan.NewEvalCache(scen, 64)
+	got := make([]*stochastic.Numeric, len(scheds))
+	var wg sync.WaitGroup
+	for i := range scheds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := cache.Model(scheds[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = m.Classic()
+		}(i)
+	}
+	wg.Wait()
+	for i, s := range scheds {
+		want, err := makespan.ReferenceEvaluateClassic(scen, s, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRV(t, "concurrent/"+itoa(i), got[i], want)
+	}
+}
+
+// TestZeroMinCommMatchesMonteCarlo is the differential test of the
+// corrected skip rule: a zero-latency network (every cross-processor
+// link has minimum time 0) under an additive DurFn still delays
+// cross-processor successors stochastically. The Monte-Carlo engine
+// always sampled those links; the historical `minComm > 0` guard made
+// the analytic evaluators silently drop them, under-reporting the
+// makespan by one mean communication per cross-processor hop. With the
+// corrected guard, classic and Spelde agree with Monte Carlo (and with
+// the analytic sum) on a two-hop cross-processor chain.
+func TestZeroMinCommMatchesMonteCarlo(t *testing.T) {
+	g := dag.New(3)
+	if err := g.AddEdge(0, 1, 5); err != nil { // volumes are irrelevant at τ = 0
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	n := 3
+	etc := make([][]float64, n)
+	for i := range etc {
+		etc[i] = []float64{10, 10}
+	}
+	tau, lat := platform.NewUniformNetwork(2, 0, 0) // τ = 0, latency = 0
+	scen := &platform.Scenario{
+		G:  g,
+		P:  &platform.Platform{M: 2, ETC: etc, Tau: tau, Lat: lat},
+		UL: 1.5,
+		// Additive noise: every duration and link takes its minimum
+		// plus Uniform[0, (ul-1)] — a zero-min link averages 0.25.
+		DurFn: func(min, ul float64) stochastic.Dist {
+			return stochastic.Uniform{Lo: min, Hi: min + (ul - 1)}
+		},
+	}
+	s := schedule.New(n, 2)
+	s.Assign(0, 0)
+	s.Assign(1, 1) // both edges cross processors
+	s.Assign(2, 0)
+
+	// Analytic expectation: 3 task durations (10.25 each) plus 2
+	// cross-processor links (0.25 each) = 31.25.
+	const want = 3*10.25 + 2*0.25
+
+	rv, err := makespan.EvaluateClassic(scen, s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := makespan.MonteCarlo(scen, s, 100000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(emp.Mean()-want) > 0.02 {
+		t.Fatalf("MC mean %g, want %g: the ground truth itself lost the zero-min links", emp.Mean(), want)
+	}
+	// The historical guard evaluated this chain to mean 30.75 (it
+	// dropped both links) — far outside the tolerance below.
+	if math.Abs(rv.Mean()-emp.Mean()) > 0.05 {
+		t.Errorf("classic mean %g diverges from MC %g: zero-min comm arcs dropped", rv.Mean(), emp.Mean())
+	}
+	sp, err := makespan.EvaluateSpelde(scen, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Mean-want) > 1e-9 {
+		t.Errorf("Spelde mean %g, want exactly %g on a chain", sp.Mean, want)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func ftoa(f float64) string {
+	if f == float64(int(f)) {
+		return itoa(int(f))
+	}
+	return itoa(int(f)) + "." + itoa(int(f*10)%10)
+}

@@ -58,8 +58,21 @@ func clarkMax(mu1, var1, mu2, var2 float64) (mu, variance float64) {
 // EvaluateSpelde propagates (µ, σ²) through the disjunctive graph:
 // sums add moments, maxima use Clark's normal approximation. This is
 // the fast method of Ludwig, Möhring & Stork's study that the paper
-// evaluates.
+// evaluates. It runs on the compiled evaluation model; callers with
+// many schedules per scenario should hold an EvalCache and call
+// Model(s).Spelde() directly.
 func EvaluateSpelde(scen *platform.Scenario, s *schedule.Schedule) (SpeldeResult, error) {
+	m, err := NewEvalCache(scen, 0).Model(s)
+	if err != nil {
+		return SpeldeResult{}, err
+	}
+	return m.Spelde(), nil
+}
+
+// ReferenceEvaluateSpelde is the retained uncompiled implementation:
+// it rebuilds the disjunctive graph and re-derives every moment per
+// call. The equivalence harness holds EvalModel.Spelde equal to it.
+func ReferenceEvaluateSpelde(scen *platform.Scenario, s *schedule.Schedule) (SpeldeResult, error) {
 	ctx, err := newEvalContext(scen, s)
 	if err != nil {
 		return SpeldeResult{}, err
@@ -72,8 +85,8 @@ func EvaluateSpelde(scen *platform.Scenario, s *schedule.Schedule) (SpeldeResult
 		first := true
 		for _, p := range ctx.dg.Pred(t) {
 			aMu, aVar := mu[p], variance[p]
-			if ctx.minComm(p, t) > 0 {
-				cMu, cVar := moments(scen.CommDist(p, t, s.Proc[p], s.Proc[t]))
+			if d, skip := ctx.commDist(p, t); !skip {
+				cMu, cVar := moments(d)
 				aMu += cMu
 				aVar += cVar
 			}

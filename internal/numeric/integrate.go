@@ -47,7 +47,15 @@ func TrapezoidUniform(y []float64, h float64) float64 {
 // CumTrapezoid returns the running trapezoidal integral of uniform-grid
 // samples: out[i] = integral of y from x[0] to x[i]. out[0] = 0.
 func CumTrapezoid(y []float64, h float64) []float64 {
-	out := make([]float64, len(y))
+	return CumTrapezoidInto(make([]float64, len(y)), y, h)
+}
+
+// CumTrapezoidInto is CumTrapezoid writing into a caller-owned slice of
+// length len(y); prior contents are overwritten.
+func CumTrapezoidInto(out, y []float64, h float64) []float64 {
+	if len(out) > 0 {
+		out[0] = 0
+	}
 	for i := 1; i < len(y); i++ {
 		out[i] = out[i-1] + h*(y[i-1]+y[i])/2
 	}

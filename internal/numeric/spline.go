@@ -11,35 +11,77 @@ type Spline struct {
 	extrapZero bool
 }
 
+// SplineScratch holds the Thomas-algorithm work arrays of a spline fit,
+// so hot loops can rebuild splines without allocating. The zero value is
+// ready to use.
+type SplineScratch struct {
+	a, b, c, d []float64
+}
+
+func (ws *SplineScratch) grow(n int) (a, b, c, d []float64) {
+	if cap(ws.a) < n {
+		ws.a = make([]float64, n)
+		ws.b = make([]float64, n)
+		ws.c = make([]float64, n)
+		ws.d = make([]float64, n)
+	}
+	return ws.a[:n], ws.b[:n], ws.c[:n], ws.d[:n]
+}
+
 // NewSpline builds a natural cubic spline through (x[i], y[i]). x must be
 // strictly increasing and have at least 2 points.
 func NewSpline(x, y []float64) (*Spline, error) {
+	s := &Spline{}
+	var ws SplineScratch
+	if err := s.fit(x, y, &ws, true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Fit (re)initializes the spline over x and y without copying them: the
+// caller must keep both slices alive and unmodified for the spline's
+// lifetime. The second-derivative vector and the scratch arrays are
+// reused across calls, so steady-state refits are allocation-free. The
+// fitted spline is bit-for-bit identical to NewSpline(x, y).
+func (s *Spline) Fit(x, y []float64, ws *SplineScratch) error {
+	s.extrapZero = false
+	return s.fit(x, y, ws, false)
+}
+
+func (s *Spline) fit(x, y []float64, ws *SplineScratch, copyKnots bool) error {
 	n := len(x)
 	if n != len(y) {
-		return nil, fmt.Errorf("numeric: spline needs len(x)==len(y), got %d and %d", n, len(y))
+		return fmt.Errorf("numeric: spline needs len(x)==len(y), got %d and %d", n, len(y))
 	}
 	if n < 2 {
-		return nil, fmt.Errorf("numeric: spline needs at least 2 points, got %d", n)
+		return fmt.Errorf("numeric: spline needs at least 2 points, got %d", n)
 	}
 	for i := 1; i < n; i++ {
 		if x[i] <= x[i-1] {
-			return nil, fmt.Errorf("numeric: spline knots must be strictly increasing at index %d", i)
+			return fmt.Errorf("numeric: spline knots must be strictly increasing at index %d", i)
 		}
 	}
-	s := &Spline{
-		x: append([]float64(nil), x...),
-		y: append([]float64(nil), y...),
-		m: make([]float64, n),
+	if copyKnots {
+		s.x = append(s.x[:0], x...)
+		s.y = append(s.y[:0], y...)
+	} else {
+		s.x, s.y = x, y
 	}
+	if cap(s.m) < n {
+		s.m = make([]float64, n)
+	}
+	s.m = s.m[:n]
 	if n == 2 {
-		return s, nil // linear segment; second derivatives stay zero
+		s.m[0], s.m[1] = 0, 0 // linear segment; second derivatives stay zero
+		return nil
 	}
 	// Solve the tridiagonal system for natural boundary conditions
-	// (m[0] = m[n-1] = 0) with the Thomas algorithm.
-	a := make([]float64, n) // sub-diagonal
-	b := make([]float64, n) // diagonal
-	c := make([]float64, n) // super-diagonal
-	d := make([]float64, n) // rhs
+	// (m[0] = m[n-1] = 0) with the Thomas algorithm. The boundary cells
+	// the interior loop leaves untouched are zeroed explicitly, matching
+	// the zeroed allocations the non-scratch path used.
+	a, b, c, d := ws.grow(n)
+	a[n-1], c[0], d[0], d[n-1] = 0, 0, 0, 0
 	b[0], b[n-1] = 1, 1
 	for i := 1; i < n-1; i++ {
 		hi := x[i] - x[i-1]
@@ -58,7 +100,7 @@ func NewSpline(x, y []float64) (*Spline, error) {
 	for i := n - 2; i >= 0; i-- {
 		s.m[i] = (d[i] - c[i]*s.m[i+1]) / b[i]
 	}
-	return s, nil
+	return nil
 }
 
 // SetExtrapolateZero makes out-of-range evaluations return 0 instead of
@@ -99,6 +141,12 @@ func (s *Spline) At(t float64) float64 {
 			hi = mid
 		}
 	}
+	return s.segmentAt(lo, t)
+}
+
+// segmentAt evaluates the cubic on segment [x[lo], x[lo+1]] at t.
+func (s *Spline) segmentAt(lo int, t float64) float64 {
+	hi := lo + 1
 	h := s.x[hi] - s.x[lo]
 	A := (s.x[hi] - t) / h
 	B := (t - s.x[lo]) / h
@@ -109,14 +157,55 @@ func (s *Spline) At(t float64) float64 {
 // Resample evaluates the spline on a uniform grid of n points spanning
 // [lo, hi] inclusive.
 func (s *Spline) Resample(lo, hi float64, n int) []float64 {
-	out := make([]float64, n)
+	return s.ResampleInto(make([]float64, n), lo, hi)
+}
+
+// ResampleInto is Resample writing into a caller-owned slice whose
+// length selects the grid size. The evaluation points are visited in
+// increasing order, so the containing segment is tracked with a forward
+// walk instead of a per-point binary search; each point's value is
+// bit-identical to At.
+func (s *Spline) ResampleInto(out []float64, lo, hi float64) []float64 {
+	n := len(out)
+	if n == 0 {
+		return out
+	}
 	if n == 1 {
 		out[0] = s.At(lo)
 		return out
 	}
 	step := (hi - lo) / float64(n-1)
+	if step <= 0 { // non-increasing grid: fall back to direct evaluation
+		for i := range out {
+			out[i] = s.At(lo + float64(i)*step)
+		}
+		return out
+	}
+	nx := len(s.x)
+	seg := 0
 	for i := range out {
-		out[i] = s.At(lo + float64(i)*step)
+		t := lo + float64(i)*step
+		switch {
+		case t <= s.x[0]:
+			if t == s.x[0] || !s.extrapZero {
+				out[i] = s.y[0]
+			} else {
+				out[i] = 0
+			}
+		case t >= s.x[nx-1]:
+			if t == s.x[nx-1] || !s.extrapZero {
+				out[i] = s.y[nx-1]
+			} else {
+				out[i] = 0
+			}
+		default:
+			// Same segment as At's binary search: the largest lo with
+			// x[lo] <= t (t < x[nx-1] keeps seg < nx-1).
+			for seg+1 < nx-1 && s.x[seg+1] <= t {
+				seg++
+			}
+			out[i] = s.segmentAt(seg, t)
+		}
 	}
 	return out
 }

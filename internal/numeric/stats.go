@@ -88,7 +88,16 @@ func MovingAverage(y []float64, halfWidth int) []float64 {
 // inclusive. n must be >= 2 for a non-degenerate grid; n == 1 yields
 // {lo}.
 func Linspace(lo, hi float64, n int) []float64 {
-	out := make([]float64, n)
+	return LinspaceInto(make([]float64, n), lo, hi)
+}
+
+// LinspaceInto is Linspace writing into a caller-owned slice whose
+// length selects the point count.
+func LinspaceInto(out []float64, lo, hi float64) []float64 {
+	n := len(out)
+	if n == 0 {
+		return out
+	}
 	if n == 1 {
 		out[0] = lo
 		return out

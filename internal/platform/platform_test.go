@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/dag"
 	"repro/internal/graphgen"
 	"repro/internal/stochastic"
 )
@@ -222,5 +223,58 @@ func TestScenarioDists(t *testing.T) {
 	}
 	if s.MeanTask(0, 0) <= p.ETC[0][0] {
 		t.Error("mean task duration should exceed the minimum under UL>1")
+	}
+}
+
+// A custom (additive) duration family must be consulted for zero-minimum
+// cross-processor links — the zero-latency regime — while co-located
+// communication stays exactly free regardless of the family. This is
+// the scenario-layer half of the dropped zero-min-arc fix: before it,
+// durDist short-circuited min <= 0 to Dirac(0) even under a DurFn, so
+// no scenario could express a stochastic zero-min link at all.
+func TestZeroMinCommUnderCustomDurFn(t *testing.T) {
+	g := dag.New(3)
+	if err := g.AddEdge(0, 2, 0); err != nil { // zero-volume edge
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	etc := [][]float64{{10, 10}, {10, 10}, {10, 10}}
+	tau, lat := NewUniformNetwork(2, 1, 0) // zero-latency network
+	s := &Scenario{
+		G:  g,
+		P:  &Platform{M: 2, ETC: etc, Tau: tau, Lat: lat},
+		UL: 1.5,
+		// Additive noise family: min plus up to one time unit.
+		DurFn: func(min, ul float64) stochastic.Dist {
+			return stochastic.Uniform{Lo: min, Hi: min + (ul - 1)}
+		},
+	}
+
+	// Cross-processor zero-min link: DurFn applies, mean is positive.
+	cd := s.CommDist(0, 2, 0, 1)
+	u, ok := cd.(stochastic.Uniform)
+	if !ok {
+		t.Fatalf("zero-min cross-proc comm is %T, want the DurFn's Uniform", cd)
+	}
+	if u.Lo != 0 || u.Hi != 0.5 {
+		t.Errorf("zero-min comm support [%g,%g], want [0,0.5]", u.Lo, u.Hi)
+	}
+	if m := s.MeanComm(0, 2, 0, 1); m <= 0 {
+		t.Errorf("zero-min cross-proc mean comm = %g, want > 0", m)
+	}
+
+	// Co-located communication is free even under the additive family.
+	cd = s.CommDist(0, 2, 1, 1)
+	if dd, ok := cd.(stochastic.Dirac); !ok || dd.Value != 0 {
+		t.Errorf("co-located comm = %#v, want Dirac(0) despite DurFn", cd)
+	}
+
+	// The deterministic case still degrades everything to Dirac.
+	det := *s
+	det.UL = 1
+	if dd, ok := det.CommDist(0, 2, 0, 1).(stochastic.Dirac); !ok || dd.Value != 0 {
+		t.Error("UL=1 zero-min comm should stay Dirac(0)")
 	}
 }

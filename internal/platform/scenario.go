@@ -76,13 +76,23 @@ func (s *Scenario) ULAt(t dag.Task, proc int) float64 {
 }
 
 // durDist builds a duration distribution for the given minimum and
-// uncertainty level using the configured family.
+// uncertainty level using the configured family. A custom DurFn is
+// consulted even at min = 0: the paper's multiplicative families
+// degenerate there (a distribution over [0, 0·UL] is Dirac(0)), but an
+// additive family — e.g. a fixed network overhead plus noise — can
+// carry mass above a zero minimum, which is exactly the zero-latency
+// regime whose arcs the evaluators used to drop (see
+// makespan.EvalModel). The default Beta family keeps its Dirac
+// shortcut.
 func (s *Scenario) durDist(min, ul float64) stochastic.Dist {
-	if ul <= 1 || min <= 0 {
+	if ul <= 1 {
 		return stochastic.Dirac{Value: min}
 	}
 	if s.DurFn != nil {
 		return s.DurFn(min, ul)
+	}
+	if min <= 0 {
+		return stochastic.Dirac{Value: min}
 	}
 	return stochastic.NewBetaUL(min, ul)
 }
@@ -94,6 +104,15 @@ func (s *Scenario) DurationAt(min float64) stochastic.Dist {
 	return s.durDist(min, s.UL)
 }
 
+// DurDist builds the scenario's duration distribution for an arbitrary
+// minimum value and uncertainty level — the family every TaskDist and
+// CommDist draws from. A distribution is a pure function of
+// (min, ul) for a fixed scenario, which is what lets evaluation caches
+// deduplicate discretizations by that pair.
+func (s *Scenario) DurDist(min, ul float64) stochastic.Dist {
+	return s.durDist(min, ul)
+}
+
 // TaskDist returns the duration distribution of task t on processor
 // proc.
 func (s *Scenario) TaskDist(t dag.Task, proc int) stochastic.Dist {
@@ -102,8 +121,14 @@ func (s *Scenario) TaskDist(t dag.Task, proc int) stochastic.Dist {
 
 // CommDist returns the distribution of the communication time of edge
 // from→to when the endpoints run on pi and pj. Co-located tasks
-// communicate in zero time (Dirac at 0).
+// communicate in zero time (exactly Dirac at 0, by model definition —
+// a custom DurFn never applies to the diagonal), while a cross-processor
+// link with zero minimum time (zero-latency network) may still carry
+// stochastic mass under an additive DurFn.
 func (s *Scenario) CommDist(from, to dag.Task, pi, pj int) stochastic.Dist {
+	if pi == pj {
+		return stochastic.Dirac{Value: 0}
+	}
 	min := s.P.MinCommTime(s.G.Volume(from, to), pi, pj)
 	return s.durDist(min, s.UL)
 }

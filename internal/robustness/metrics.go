@@ -88,9 +88,32 @@ func (m Metrics) String() string {
 
 // FromDistribution computes the five distribution-based metrics from an
 // analytic makespan distribution and fills the slack metrics from the
-// schedule's mean-value disjunctive graph.
+// schedule's mean-value disjunctive graph, which it rebuilds per call.
+// This is the retained reference path; pipelines that already hold a
+// compiled evaluation model (makespan.EvalModel) use
+// FromDistributionSlacks with the model's slack vector instead, which
+// is identical without the rebuild.
 func FromDistribution(scen *platform.Scenario, s *schedule.Schedule, rv *stochastic.Numeric, p Params) (Metrics, error) {
 	var m Metrics
+	fillDistribution(&m, rv, p)
+	if err := fillSlack(scen, s, &m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// FromDistributionSlacks computes the metric vector from an analytic
+// makespan distribution and a precomputed per-task slack vector (§IV,
+// mean durations) — the compiled-evaluation form of FromDistribution.
+func FromDistributionSlacks(rv *stochastic.Numeric, slacks []float64, p Params) Metrics {
+	var m Metrics
+	fillDistribution(&m, rv, p)
+	applySlacks(&m, slacks)
+	return m
+}
+
+// fillDistribution fills the five distribution-based metrics.
+func fillDistribution(m *Metrics, rv *stochastic.Numeric, p Params) {
 	m.Makespan = rv.Mean()
 	m.StdDev = rv.StdDev()
 	m.Entropy = rv.Entropy()
@@ -99,10 +122,12 @@ func FromDistribution(scen *platform.Scenario, s *schedule.Schedule, rv *stochas
 	if p.Gamma > 0 {
 		m.RelProb = probWithin(rv, m.Makespan/p.Gamma, m.Makespan*p.Gamma)
 	}
-	if err := fillSlack(scen, s, &m); err != nil {
-		return m, err
-	}
-	return m, nil
+}
+
+// applySlacks fills the two slack metrics from a per-task slack vector.
+func applySlacks(m *Metrics, slacks []float64) {
+	m.AvgSlack = numeric.KahanSum(slacks)
+	m.SlackStdDev = numeric.StdDev(slacks)
 }
 
 // FromSamples computes the metrics from Monte-Carlo makespan samples;
@@ -210,8 +235,7 @@ func fillSlack(scen *platform.Scenario, s *schedule.Schedule, m *Metrics) error 
 	if err != nil {
 		return err
 	}
-	m.AvgSlack = numeric.KahanSum(slacks)
-	m.SlackStdDev = numeric.StdDev(slacks)
+	applySlacks(m, slacks)
 	return nil
 }
 

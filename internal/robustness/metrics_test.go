@@ -1,4 +1,4 @@
-package robustness
+package robustness_test
 
 import (
 	"math"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/graphgen"
 	"repro/internal/makespan"
 	"repro/internal/platform"
+	. "repro/internal/robustness"
 	"repro/internal/schedule"
 	"repro/internal/stochastic"
 )

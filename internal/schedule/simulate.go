@@ -59,19 +59,17 @@ type Simulator struct {
 }
 
 // NewSimulator validates the schedule against the scenario's graph and
-// precomputes the realization machinery.
+// precomputes the realization machinery. Validation and the disjunctive
+// topological order come from the compiled CSR builder — one O(n+e)
+// pass that reproduces the map-based Disjunctive(g).TopoOrder() order
+// bit-for-bit, so the realization streams (which draw in order) are
+// unchanged.
 func NewSimulator(scen *platform.Scenario, s *Schedule) (*Simulator, error) {
-	if err := s.Validate(scen.G); err != nil {
-		return nil, err
-	}
-	dg, err := s.Disjunctive(scen.G)
+	d, err := s.CompileDisjunctive(scen.G.SortedCSR())
 	if err != nil {
 		return nil, err
 	}
-	order, err := dg.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
+	order := d.Order
 	n := scen.G.N()
 	sim := &Simulator{
 		scen:     scen,

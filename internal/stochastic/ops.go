@@ -1,0 +1,328 @@
+package stochastic
+
+import (
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// Ops is a workspace for the two hot Numeric operators of the makespan
+// evaluation: Add (convolution) and Max (CDF product). The methods
+// produce results bit-for-bit identical to Numeric.Add and
+// Numeric.MaxWith — they mirror the same floating-point operations in
+// the same order — but draw every intermediate grid from reusable
+// scratch and every result density from a free list fed by Recycle, so
+// a steady-state evaluation loop performs no per-operation allocations.
+//
+// An Ops value is not safe for concurrent use; evaluation pipelines
+// keep one per worker. Input variables are never mutated, so cached
+// (shared) Numerics may be passed freely.
+type Ops struct {
+	spline numeric.SplineScratch
+	conv   numeric.ConvScratch
+	sp     numeric.Spline
+
+	knotXs []float64 // spline knot grid of the operand being fitted
+	gridXs []float64 // output evaluation grid (must outlive knotXs uses)
+	convXs []float64 // convolution knot grid
+	pa, pb []float64 // work-grid resamples of the two operands
+	cv     []float64 // convolution output
+	fa, fb []float64 // densities on the output grid
+	ca, cb []float64 // CDFs on the output grid
+	cum    []float64 // cumulative-integral scratch
+
+	free [][]float64 // recycled result densities
+}
+
+// grow returns buf resized to n, reallocating only when capacity is
+// short.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// linspaceInto fills out with the shared uniform-grid formula — one
+// definition (numeric.LinspaceInto) for both the allocating Numeric
+// paths and the scratch paths, so the grids can never drift apart.
+func linspaceInto(out []float64, lo, hi float64) []float64 {
+	return numeric.LinspaceInto(out, lo, hi)
+}
+
+// getBuf pops a recycled density buffer of capacity >= n, or allocates
+// one.
+func (o *Ops) getBuf(n int) []float64 {
+	for i := len(o.free) - 1; i >= 0; i-- {
+		if b := o.free[i]; cap(b) >= n {
+			o.free[i] = o.free[len(o.free)-1]
+			o.free = o.free[:len(o.free)-1]
+			return b[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// Recycle returns rv's density buffer to the free list. The caller must
+// not use rv afterwards; rv must have been produced by this Ops (or
+// otherwise own its buffer exclusively).
+func (o *Ops) Recycle(rv *Numeric) {
+	if rv == nil || rv.pdf == nil {
+		return
+	}
+	o.free = append(o.free, rv.pdf)
+	rv.pdf = nil
+}
+
+// copyOf mirrors Numeric.Clone with the copy drawn from the free list.
+func (o *Ops) copyOf(rv *Numeric) *Numeric {
+	out := &Numeric{lo: rv.lo, hi: rv.hi, point: rv.point}
+	if rv.pdf != nil {
+		out.pdf = o.getBuf(len(rv.pdf))
+		copy(out.pdf, rv.pdf)
+	}
+	return out
+}
+
+// shiftCopy mirrors Numeric.Shift (a clone translated by c).
+func (o *Ops) shiftCopy(rv *Numeric, c float64) *Numeric {
+	out := o.copyOf(rv)
+	out.lo += c
+	out.hi += c
+	return out
+}
+
+// fitOperand builds the workspace spline over rv's knot grid, mirroring
+// the spline every Numeric method constructs from XGrid()/pdf.
+func (o *Ops) fitOperand(rv *Numeric) error {
+	xs := linspaceInto(grow(&o.knotXs, len(rv.pdf)), rv.lo, rv.hi)
+	if err := o.sp.Fit(xs, rv.pdf, &o.spline); err != nil {
+		return err
+	}
+	o.sp.SetExtrapolateZero(true)
+	return nil
+}
+
+// resampleStepInto mirrors Numeric.resampleStep into dst.
+func (o *Ops) resampleStepInto(dst *[]float64, rv *Numeric, h float64) []float64 {
+	n := int(math.Round((rv.hi-rv.lo)/h)) + 1
+	if n < 2 {
+		n = 2
+	}
+	if err := o.fitOperand(rv); err != nil {
+		out := grow(dst, 2)
+		out[0], out[1] = 0, 0
+		return out
+	}
+	out := o.sp.ResampleInto(grow(dst, n), rv.lo, rv.hi)
+	for i, v := range out {
+		if v < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// Add returns the distribution of a+b, bit-identical to
+// a.Add(b, gridSize), with all intermediates drawn from the workspace.
+func (o *Ops) Add(a, b *Numeric, gridSize int) *Numeric {
+	if gridSize <= 0 {
+		gridSize = DefaultGridSize
+	}
+	if a.point {
+		return o.shiftCopy(b, a.lo)
+	}
+	if b.point {
+		return o.shiftCopy(a, b.lo)
+	}
+	lo := a.lo + b.lo
+	hi := a.hi + b.hi
+	h := math.Min(a.Step(), b.Step())
+	if w := hi - lo; w/h > maxWorkGrid {
+		h = w / maxWorkGrid
+	}
+	pa := o.resampleStepInto(&o.pa, a, h)
+	pb := o.resampleStepInto(&o.pb, b, h)
+	conv := numeric.ConvolveInto(grow(&o.cv, len(pa)+len(pb)-1), pa, pb, &o.conv)
+	for i := range conv {
+		conv[i] *= h
+		if conv[i] < 0 {
+			conv[i] = 0
+		}
+	}
+	// The convolution grid spans [lo, lo+(len-1)h]; resample onto the
+	// requested grid over the exact support.
+	convHi := lo + float64(len(conv)-1)*h
+	xs := linspaceInto(grow(&o.convXs, len(conv)), lo, convHi)
+	if err := o.sp.Fit(xs, conv, &o.spline); err != nil {
+		return NewPoint((lo + hi) / 2)
+	}
+	o.sp.SetExtrapolateZero(true)
+	out := &Numeric{lo: lo, hi: hi, pdf: o.sp.ResampleInto(o.getBuf(gridSize), lo, hi)}
+	out.clampNormalize()
+	return out
+}
+
+// cdfAt mirrors Numeric.CDFAt with scratch for the cumulative integral.
+func (o *Ops) cdfAt(rv *Numeric, x float64) float64 {
+	if rv.point {
+		if x < rv.lo {
+			return 0
+		}
+		return 1
+	}
+	if x <= rv.lo {
+		return 0
+	}
+	if x >= rv.hi {
+		return 1
+	}
+	h := rv.Step()
+	cum := numeric.CumTrapezoidInto(grow(&o.cum, len(rv.pdf)), rv.pdf, h)
+	pos := (x - rv.lo) / h
+	i := int(pos)
+	if i >= len(cum)-1 {
+		return numeric.Clamp(cum[len(cum)-1], 0, 1)
+	}
+	frac := pos - float64(i)
+	v := cum[i] + frac*(cum[i+1]-cum[i])
+	return numeric.Clamp(v, 0, 1)
+}
+
+// pdfOnGridInto mirrors Numeric.pdfOnGrid into dst.
+func (o *Ops) pdfOnGridInto(dst *[]float64, rv *Numeric, xs []float64) []float64 {
+	out := grow(dst, len(xs))
+	for i := range out {
+		out[i] = 0
+	}
+	if rv.point {
+		return out
+	}
+	if err := o.fitOperand(rv); err != nil {
+		return out
+	}
+	for i, x := range xs {
+		if x < rv.lo || x > rv.hi {
+			continue
+		}
+		v := o.sp.At(x)
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// cdfOnGridInto mirrors Numeric.CDFOnGrid into dst.
+func (o *Ops) cdfOnGridInto(dst *[]float64, rv *Numeric, xs []float64) []float64 {
+	out := grow(dst, len(xs))
+	if rv.point {
+		for i, x := range xs {
+			if x >= rv.lo {
+				out[i] = 1
+			} else {
+				out[i] = 0
+			}
+		}
+		return out
+	}
+	h := rv.Step()
+	cum := numeric.CumTrapezoidInto(grow(&o.cum, len(rv.pdf)), rv.pdf, h)
+	total := cum[len(cum)-1]
+	for i, x := range xs {
+		switch {
+		case x <= rv.lo:
+			out[i] = 0
+		case x >= rv.hi:
+			out[i] = 1
+		default:
+			pos := (x - rv.lo) / h
+			j := int(pos)
+			if j >= len(cum)-1 {
+				out[i] = 1
+				continue
+			}
+			frac := pos - float64(j)
+			v := cum[j] + frac*(cum[j+1]-cum[j])
+			if total > 0 {
+				v /= total
+			}
+			out[i] = numeric.Clamp(v, 0, 1)
+		}
+	}
+	return out
+}
+
+// Max returns the distribution of max(x, y), bit-identical to
+// x.MaxWith(y, gridSize), with all intermediates drawn from the
+// workspace.
+func (o *Ops) Max(x, y *Numeric, gridSize int) *Numeric {
+	if gridSize <= 0 {
+		gridSize = DefaultGridSize
+	}
+	a, b := x, y
+	// Point cases.
+	if a.point && b.point {
+		return NewPoint(math.Max(a.lo, b.lo))
+	}
+	if a.point {
+		a, b = b, a
+	}
+	if b.point {
+		c := b.lo
+		switch {
+		case c <= a.lo:
+			return o.copyOf(a)
+		case c >= a.hi:
+			return NewPoint(c)
+		default:
+			// Truncate below c; the atom P(X<=c) is folded into the
+			// first grid cell. The reference path evaluates PDFAt per
+			// grid point, rebuilding the same spline each time; one
+			// fit yields the same per-point values.
+			atom := o.cdfAt(a, c)
+			n := gridSize
+			xs := linspaceInto(grow(&o.gridXs, n), c, a.hi)
+			pdf := o.getBuf(n)
+			fitErr := o.fitOperand(a)
+			for i, xv := range xs {
+				pdf[i] = 0
+				if fitErr != nil || xv < a.lo || xv > a.hi {
+					continue
+				}
+				if v := o.sp.At(xv); v > 0 {
+					pdf[i] = v
+				}
+			}
+			h := (a.hi - c) / float64(n-1)
+			if h > 0 && atom > 0 {
+				pdf[0] += 2 * atom / h // triangle of mass `atom` at the left edge
+			}
+			out := &Numeric{lo: c, hi: a.hi, pdf: pdf}
+			out.clampNormalize()
+			return out
+		}
+	}
+	// Disjoint supports: one variable dominates.
+	if a.hi <= b.lo {
+		return o.copyOf(b)
+	}
+	if b.hi <= a.lo {
+		return o.copyOf(a)
+	}
+	lo := math.Max(a.lo, b.lo)
+	hi := math.Max(a.hi, b.hi)
+	xs := linspaceInto(grow(&o.gridXs, gridSize), lo, hi)
+	fa := o.pdfOnGridInto(&o.fa, a, xs)
+	fb := o.pdfOnGridInto(&o.fb, b, xs)
+	Fa := o.cdfOnGridInto(&o.ca, a, xs)
+	Fb := o.cdfOnGridInto(&o.cb, b, xs)
+	pdf := o.getBuf(gridSize)
+	for i := range xs {
+		pdf[i] = fa[i]*Fb[i] + Fa[i]*fb[i]
+	}
+	out := &Numeric{lo: lo, hi: hi, pdf: pdf}
+	out.clampNormalize()
+	return out
+}

@@ -66,6 +66,15 @@ type (
 	MCOptions = makespan.MCOptions
 	// MCStats is the kernel's streaming moment/quantile accumulator.
 	MCStats = schedule.MCStats
+	// EvalCache is the per-scenario compiled evaluation state: cached
+	// discretizations and graph tables shared by every schedule of a
+	// case (build one per scenario when evaluating many schedules).
+	EvalCache = makespan.EvalCache
+	// EvalModel is a per-(scenario, schedule) compiled evaluation
+	// context: classical makespan density, Spelde moments, slack
+	// vector and the full metric vector, bit-identical to the
+	// uncompiled reference evaluators.
+	EvalModel = makespan.EvalModel
 )
 
 // Sampler modes re-exported from the stochastic package.
@@ -173,15 +182,26 @@ func MonteCarloStats(scen *Scenario, s *Schedule, count int, seed int64, opt MCO
 	return makespan.MonteCarloStats(scen, s, count, seed, opt)
 }
 
+// NewEvalCache builds the compiled evaluation state for a scenario.
+// gridSize <= 0 selects the paper's 64-point densities. Evaluating many
+// schedules of one scenario through a shared cache discretizes each
+// distinct duration/communication distribution once instead of once
+// per schedule.
+func NewEvalCache(scen *Scenario, gridSize int) *EvalCache {
+	return makespan.NewEvalCache(scen, gridSize)
+}
+
 // ComputeMetrics evaluates the makespan distribution with the
 // classical method and returns the paper's eight robustness metrics
-// with the default δ = 0.1, γ = 1.0003.
+// with the default δ = 0.1, γ = 1.0003. It runs through the compiled
+// evaluation model; batch callers should hold a NewEvalCache and call
+// Model(s).Metrics themselves.
 func ComputeMetrics(scen *Scenario, s *Schedule) (Metrics, error) {
-	rv, err := makespan.EvaluateClassic(scen, s, 0)
+	m, err := makespan.NewEvalCache(scen, 0).Model(s)
 	if err != nil {
 		return Metrics{}, err
 	}
-	return robustness.FromDistribution(scen, s, rv, robustness.DefaultParams())
+	return m.Metrics(robustness.DefaultParams()), nil
 }
 
 // ComputeMetricsWith is ComputeMetrics with explicit parameters and a
