@@ -10,9 +10,11 @@ import (
 	"testing"
 
 	"repro/internal/experiment"
+	"repro/internal/graphgen"
 	"repro/internal/heuristics"
 	"repro/internal/makespan"
 	"repro/internal/numeric"
+	"repro/internal/platform"
 	"repro/internal/robustness"
 	"repro/internal/schedule"
 	"repro/internal/stochastic"
@@ -391,6 +393,126 @@ func benchEvalCaseSizes(b *testing.B, compiled bool, sizes []int) {
 func BenchmarkEvalCase(b *testing.B) { benchEvalCaseSizes(b, true, evalBenchSizes) }
 
 func BenchmarkEvalCaseReference(b *testing.B) { benchEvalCaseSizes(b, false, evalBenchSizes) }
+
+// --- Dodin reduction: compiled vs legacy at scale ---------------------------
+//
+// The acceptance pairs of the compiled series-parallel reduction:
+// Benchmark*Reference is the retained map-based rvGraph reducer,
+// Benchmark* the flat edge-id spGraph on stochastic.Ops. Both run
+// strictly (no classic fallback) on a fully series-reducible case — a
+// task chain on one processor — at two uncertainty levels:
+//
+//   - BenchmarkDodin (UL = 1): every duration is deterministic, so each
+//     reduction step is pure graph work and the pair isolates the
+//     reduction machinery the rewrite replaced (map graph + quadratic
+//     rescans vs flat arrays + worklist). Measured ~3x at n=1000, ~6x
+//     at n=5000; cmd/benchguard (-series '^Dodin$') fails below 2x.
+//   - BenchmarkDodinStochastic (UL = 1.3): the end-to-end evaluation,
+//     dominated by the work-grid spline fit + convolution inside Add
+//     that both legs share bit-identically under the reference
+//     accuracy, so the floor is the measured ~1.3x machinery margin
+//     (-series '^DodinStochastic$', 1.2x); the convolution cost itself
+//     is the EvalAccuracy work-grid knob's lever, guarded by the
+//     BenchmarkEvalAccuracyFast pair below.
+//
+// Gated behind -short like the other large-N pairs.
+
+var dodinBenchSizes = []int{1000, 5000}
+
+func benchDodinCase(b *testing.B, n int, ul float64) (*Scenario, *Schedule) {
+	b.Helper()
+	g := graphgen.Chain(n, 0)
+	etc := make([][]float64, n)
+	for i := range etc {
+		etc[i] = []float64{10, 10}
+	}
+	tau, lat := platform.NewUniformNetwork(2, 1, 0)
+	scen := &platform.Scenario{
+		G:  g,
+		P:  &platform.Platform{M: 2, ETC: etc, Tau: tau, Lat: lat},
+		UL: ul,
+	}
+	s := schedule.New(n, 2)
+	for i := 0; i < n; i++ {
+		s.Assign(Task(i), 0)
+	}
+	return scen, s
+}
+
+func benchDodinSizes(b *testing.B, compiled bool, ul float64) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("large-N Dodin benches are skipped with -short")
+	}
+	for _, n := range dodinBenchSizes {
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			scen, s := benchDodinCase(b, n, ul)
+			cache := makespan.NewEvalCache(scen, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if compiled {
+					m, err := cache.Model(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := m.DodinStrict(); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := makespan.EvaluateDodinStrict(scen, s, 64); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDodin(b *testing.B) { benchDodinSizes(b, true, 1) }
+
+func BenchmarkDodinReference(b *testing.B) { benchDodinSizes(b, false, 1) }
+
+func BenchmarkDodinStochastic(b *testing.B) { benchDodinSizes(b, true, 1.3) }
+
+func BenchmarkDodinStochasticReference(b *testing.B) { benchDodinSizes(b, false, 1.3) }
+
+// --- Evaluation accuracy: fast preset vs reference --------------------------
+//
+// The acceptance pair of the EvalAccuracy knob: both legs run the
+// compiled EvalCache pipeline on the 10k-task sweep case, the Reference
+// leg at the paper's bit-exact contract and the other at the fast
+// preset (64-point densities, 256-point work-grid cap). cmd/benchguard
+// compares the pair in CI (-series '^EvalAccuracyFast') and fails below
+// 2x at n = 10000.
+
+func benchEvalAccuracy(b *testing.B, acc stochastic.EvalAccuracy) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("large-N accuracy benches are skipped with -short")
+	}
+	b.Run("N=10000", func(b *testing.B) {
+		scen, scheds := benchEvalSchedules(b, 10000)
+		p := robustness.DefaultParams()
+		p.GridSize = acc.Canon().GridSize
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache := makespan.NewEvalCacheAccuracy(scen, acc)
+			for _, s := range scheds {
+				m, err := cache.Model(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = m.Metrics(p)
+			}
+		}
+	})
+}
+
+func BenchmarkEvalAccuracyFast(b *testing.B) { benchEvalAccuracy(b, stochastic.AccuracyFast) }
+
+func BenchmarkEvalAccuracyFastReference(b *testing.B) {
+	benchEvalAccuracy(b, stochastic.AccuracyReference)
+}
 
 // --- Evaluation benches ------------------------------------------------------
 

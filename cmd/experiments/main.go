@@ -26,11 +26,18 @@
 // pair fails the sweep up front instead of silently clamping the
 // graph.
 //
+// -eval-accuracy selects the numeric evaluation accuracy for every
+// figure: the default "reference" reproduces the paper's 64-point
+// contract bit-for-bit, "fast" and "coarse" trade measured error for
+// speed, and -fig accuracy regenerates the study quantifying that
+// error per metric across all workload families.
+//
 // Usage:
 //
-//	experiments [-fig 1|...|9|ul|osc|sweep|all] [-full] [-out DIR] [-seed N]
-//	            [-json] [-workers N] [-resume] [-cache-dir DIR]
+//	experiments [-fig 1|...|9|ul|osc|sweep|accuracy|all] [-full] [-out DIR]
+//	            [-seed N] [-json] [-workers N] [-resume] [-cache-dir DIR]
 //	            [-sampler exact|table] [-mc-block N]
+//	            [-eval-accuracy reference|fast|coarse|grid=G[,work=W]]
 //	            [-families A,B,...] [-sweep-sizes N,...] [-sweep-uls U,...]
 //	            [-sweep-reps R]
 //
@@ -62,7 +69,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	figFlag := flag.String("fig", "all", "figure to regenerate (1-9, ul, osc, sweep, or all; sweep is never part of all)")
+	figFlag := flag.String("fig", "all", "figure to regenerate (1-9, ul, osc, sweep, accuracy, or all; sweep and accuracy are never part of all)")
 	full := flag.Bool("full", false, "paper-scale sample counts (slow)")
 	out := flag.String("out", "", "directory for output files (default stdout)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -70,6 +77,7 @@ func main() {
 	mc := flag.Int("mc", 0, "override Monte-Carlo realization count")
 	sampler := flag.String("sampler", "", "Monte-Carlo sampler mode: exact (bit-stable) or table (fast); default exact, table at -full")
 	mcBlock := flag.Int("mc-block", 0, "Monte-Carlo kernel block size (realizations per batch; default 256)")
+	evalAcc := flag.String("eval-accuracy", "", "evaluation accuracy: reference|fast|coarse or grid=G[,work=W] (default reference; fast/coarse trade measured error for speed)")
 	workers := flag.Int("workers", 0, "worker-pool size for case evaluations (default GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "write JSON reports (figN.json; CSV matrices beside case figures when -out is set)")
 	resume := flag.Bool("resume", false, "cache finished cases on disk and reuse them on rerun (default dir: .experiments-cache)")
@@ -154,7 +162,13 @@ func main() {
 	if *mcBlock > 0 {
 		cfg.MCBlockSize = *mcBlock
 	}
+	if *evalAcc != "" {
+		cfg.EvalAccuracy = *evalAcc
+	}
 	if err := cfg.ValidateMC(); err != nil {
+		fatalf("%v", err)
+	}
+	if err := cfg.ValidateEval(); err != nil {
 		fatalf("%v", err)
 	}
 	if *workers > 0 {
@@ -434,6 +448,15 @@ func (e *runEnv) runFig(fig string) error {
 			return nil
 		}, "figsweep_matrix.csv", func(w io.Writer) error {
 			return experiment.WriteFig6CSV(w, res)
+		})
+	case "accuracy":
+		res, err := experiment.AccuracyStudyRun(cfg)
+		if err != nil {
+			return err
+		}
+		return e.emit(fig, res, func(w io.Writer) error {
+			experiment.WriteAccuracy(w, res)
+			return nil
 		})
 	case "osc":
 		res, err := experiment.OscillatingDurationsCase(cfg)

@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/heuristics"
+	"repro/internal/makespan"
+	"repro/internal/robustness"
+	"repro/internal/seeds"
+	"repro/internal/stochastic"
+)
+
+// AccuracyRow is one setting of the accuracy study: the per-metric
+// relative error of evaluating every study case at this accuracy
+// instead of the 64-point reference, aggregated over all registered
+// workload families and schedules.
+type AccuracyRow struct {
+	Accuracy string    `json:"accuracy"` // canonical spelling (ParseEvalAccuracy round-trips it)
+	GridSize int       `json:"grid_size"`
+	WorkGrid int       `json:"work_grid"`
+	MaxErr   []float64 `json:"max_rel_err"`  // per metric, MetricNames order
+	MeanErr  []float64 `json:"mean_rel_err"` // per metric, MetricNames order
+}
+
+// MaxOverMetrics returns the row's worst per-metric max error.
+func (r AccuracyRow) MaxOverMetrics() float64 {
+	worst := 0.0
+	for _, e := range r.MaxErr {
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// AccuracyStudy is the full report: the studied accuracies (the fast
+// and coarse presets plus a density-grid sweep under the reference
+// resampling policy) against the reference evaluation.
+type AccuracyStudy struct {
+	Families  []string      `json:"families"`
+	Schedules int           `json:"schedules_per_family"`
+	Rows      []AccuracyRow `json:"rows"`
+}
+
+// relErr is the study's error measure: relative to the reference
+// magnitude when it is meaningfully nonzero, absolute otherwise (the
+// slack of a zero-slack schedule, a vanishing probability).
+func relErr(got, ref float64) float64 {
+	d := math.Abs(got - ref)
+	if m := math.Abs(ref); m > 1e-9 {
+		return d / m
+	}
+	return d
+}
+
+// studyAccuracies lists the settings the study measures: the named
+// non-reference presets, then a density-grid sweep under the reference
+// resampling policy.
+func studyAccuracies() []stochastic.EvalAccuracy {
+	accs := []stochastic.EvalAccuracy{stochastic.AccuracyFast, stochastic.AccuracyCoarse}
+	for _, g := range []int{8, 16, 32, 48, 96} {
+		accs = append(accs, stochastic.EvalAccuracy{GridSize: g}.Canon())
+	}
+	return accs
+}
+
+// AccuracyStudyRun measures the discretization error of every
+// non-reference accuracy: for each registered workload family it draws
+// a case and a handful of random schedules, evaluates the full metric
+// vector at the reference accuracy and at each studied accuracy, and
+// aggregates the per-metric relative errors. The README's "Evaluation
+// accuracy" numbers come from this report (cmd/experiments
+// -fig accuracy).
+func AccuracyStudyRun(cfg Config) (*AccuracyStudy, error) {
+	if err := cfg.ValidateEval(); err != nil {
+		return nil, err
+	}
+	families := FamilyNames()
+	sort.Strings(families)
+	const schedulesPerFamily = 8
+
+	accs := studyAccuracies()
+	study := &AccuracyStudy{Families: families, Schedules: schedulesPerFamily}
+	k := robustness.NumMetrics
+	maxErr := make([][]float64, len(accs))
+	sumErr := make([][]float64, len(accs))
+	for i := range accs {
+		maxErr[i] = make([]float64, k)
+		sumErr[i] = make([]float64, k)
+	}
+	samples := 0
+
+	for _, family := range families {
+		spec := CaseSpec{
+			Name: "accuracy-" + family, Family: family, N: 30, M: 4, UL: 1.2,
+			Seed: seeds.Derive(cfg.Seed, "accuracy/"+family),
+		}
+		scen, err := spec.BuildScenario()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: accuracy study %s: %w", family, err)
+		}
+		rng := rand.New(rand.NewSource(seeds.Derive(spec.Seed, "accuracy-schedules")))
+		scheds := heuristics.RandomSchedules(scen, schedulesPerFamily, rng)
+
+		refCache := makespan.NewEvalCacheAccuracy(scen, stochastic.AccuracyReference)
+		caches := make([]*makespan.EvalCache, len(accs))
+		for i, acc := range accs {
+			caches[i] = makespan.NewEvalCacheAccuracy(scen, acc)
+		}
+		for _, s := range scheds {
+			refModel, err := refCache.Model(s)
+			if err != nil {
+				return nil, err
+			}
+			p := cfg.params()
+			p.GridSize = stochastic.DefaultGridSize
+			refVec := refModel.Metrics(p).Vector()
+			samples++
+			for i, acc := range accs {
+				m, err := caches[i].Model(s)
+				if err != nil {
+					return nil, err
+				}
+				pa := p
+				pa.GridSize = acc.GridSize
+				vec := m.Metrics(pa).Vector()
+				for c := 0; c < k; c++ {
+					e := relErr(vec[c], refVec[c])
+					sumErr[i][c] += e
+					if e > maxErr[i][c] {
+						maxErr[i][c] = e
+					}
+				}
+			}
+		}
+	}
+
+	for i, acc := range accs {
+		mean := make([]float64, k)
+		for c := range mean {
+			mean[c] = sumErr[i][c] / float64(samples)
+		}
+		study.Rows = append(study.Rows, AccuracyRow{
+			Accuracy: acc.String(),
+			GridSize: acc.GridSize,
+			WorkGrid: acc.WorkGrid,
+			MaxErr:   maxErr[i],
+			MeanErr:  mean,
+		})
+	}
+	return study, nil
+}
+
+// WriteAccuracy renders the accuracy study as text.
+func WriteAccuracy(w io.Writer, st *AccuracyStudy) {
+	fmt.Fprintln(w, "# Evaluation accuracy study — per-metric relative error vs the 64-point reference")
+	fmt.Fprintf(w, "families: %d, schedules per family: %d\n\n", len(st.Families), st.Schedules)
+	for _, kind := range []struct {
+		name string
+		pick func(AccuracyRow) []float64
+	}{
+		{"max relative error", func(r AccuracyRow) []float64 { return r.MaxErr }},
+		{"mean relative error", func(r AccuracyRow) []float64 { return r.MeanErr }},
+	} {
+		fmt.Fprintf(w, "## %s\n", kind.name)
+		fmt.Fprintf(w, "%-18s", "accuracy")
+		for _, name := range robustness.MetricNames {
+			fmt.Fprintf(w, " %9s", name)
+		}
+		fmt.Fprintln(w)
+		for _, row := range st.Rows {
+			fmt.Fprintf(w, "%-18s", row.Accuracy)
+			for _, e := range kind.pick(row) {
+				fmt.Fprintf(w, " %9.2e", e)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -35,6 +35,14 @@ type Config struct {
 	// one RNG stream, so changing it changes the drawn realizations
 	// (never their distribution).
 	MCBlockSize int
+
+	// EvalAccuracy selects the numeric evaluation accuracy: empty keeps
+	// the reference resampling policy at GridSize; otherwise a preset
+	// name ("reference", "fast", "coarse") or an explicit
+	// "grid=G[,work=W]" spelling (stochastic.ParseEvalAccuracy), which
+	// overrides GridSize. An invalid spelling is an error, never a
+	// silent fallback.
+	EvalAccuracy string
 }
 
 // DefaultConfig returns laptop-scale settings: every driver finishes in
@@ -75,6 +83,36 @@ func BenchConfig() Config {
 // params converts the config into metric parameters.
 func (c Config) params() robustness.Params {
 	return robustness.Params{Delta: c.Delta, Gamma: c.Gamma, GridSize: c.GridSize}
+}
+
+// EvalAccuracyValue resolves the effective evaluation accuracy: the
+// EvalAccuracy spelling when set (its grid overrides GridSize),
+// otherwise the legacy GridSize field under the reference resampling
+// policy — so configs written before the accuracy knob existed resolve
+// to bit-identical evaluations.
+func (c Config) EvalAccuracyValue() (stochastic.EvalAccuracy, error) {
+	if c.EvalAccuracy == "" {
+		return stochastic.EvalAccuracy{GridSize: c.GridSize}.Canon(), nil
+	}
+	return stochastic.ParseEvalAccuracy(c.EvalAccuracy)
+}
+
+// ValidateEval checks the EvalAccuracy spelling.
+func (c Config) ValidateEval() error {
+	_, err := c.EvalAccuracyValue()
+	return err
+}
+
+// resolveAccuracy resolves the effective accuracy and aligns GridSize
+// with it, so drivers that resolve once keep cache construction and
+// metric parameters (params) on the same grid.
+func (c Config) resolveAccuracy() (Config, stochastic.EvalAccuracy, error) {
+	acc, err := c.EvalAccuracyValue()
+	if err != nil {
+		return c, acc, err
+	}
+	c.GridSize = acc.GridSize
+	return c, acc, nil
 }
 
 // mcOptions converts the config into Monte-Carlo kernel options. An

@@ -39,6 +39,10 @@ func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return nil, err
+	}
 	if len(sizes) == 0 {
 		sizes = []int{10, 30, 100}
 	}
@@ -71,7 +75,7 @@ func Fig1(cfg Config, sizes []int, schedulesPerSize int) ([]Fig1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		cache := makespan.NewEvalCache(scen, cfg.GridSize)
+		cache := makespan.NewEvalCacheAccuracy(scen, acc)
 		rng := rand.New(rand.NewSource(seeds.Derive(spec.Seed, "fig1-schedules")))
 		mcSeeds := seeds.NewFamily(spec.Seed, "fig1-mc")
 		var ksSum, cmSum float64
@@ -118,6 +122,10 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return nil, err
+	}
 	spec := Fig5Case(cfg.Seed + 999)
 	scen, err := spec.BuildScenario()
 	if err != nil {
@@ -125,15 +133,16 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 4242))
 	s := heuristics.RandomSchedule(scen, rng)
-	rv, err := makespan.EvaluateClassic(scen, s, cfg.GridSize)
+	model, err := makespan.NewEvalCacheAccuracy(scen, acc).Model(s)
 	if err != nil {
 		return nil, err
 	}
+	rv := model.Classic()
 	emp, err := makespan.MonteCarloWith(scen, s, cfg.MCRealizations, cfg.Seed+5, mcOpts)
 	if err != nil {
 		return nil, err
 	}
-	empRV := emp.ToNumeric(cfg.GridSize)
+	empRV := emp.ToNumeric(acc.GridSize)
 	lo, hi := stats.SupportUnion(rv, emp)
 	xs := numeric.Linspace(lo, hi, 256)
 	res := &Fig2Result{
@@ -237,6 +246,10 @@ type Fig9Row struct {
 // i.i.d.) schedule is the most robust with no slack, while the
 // imbalanced schedule has ample slack and poor robustness.
 func Fig9(cfg Config, n int) ([]Fig9Row, error) {
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return nil, err
+	}
 	if n <= 2 {
 		n = 8
 	}
@@ -256,7 +269,7 @@ func Fig9(cfg Config, n int) ([]Fig9Row, error) {
 		UL: 1.5,
 	}
 	sink := dag.Task(n)
-	cache := makespan.NewEvalCache(scen, cfg.GridSize)
+	cache := makespan.NewEvalCacheAccuracy(scen, acc)
 
 	build := func(name string, assign func(s *schedule.Schedule)) (Fig9Row, error) {
 		s := schedule.New(n+1, n)

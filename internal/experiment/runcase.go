@@ -95,6 +95,10 @@ func RunCase(spec CaseSpec, cfg Config) (*CaseResult, error) {
 // written into index-addressed slots, so they are identical for every
 // worker count.
 func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool) (*CaseResult, error) {
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return nil, err
+	}
 	// The serial phases run as (single-job) pool batches too, so the
 	// whole case — generation and assembly, not just the fan-out —
 	// stays inside the worker bound even when many cases are in
@@ -104,13 +108,13 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 		cache  *makespan.EvalCache
 		scheds []*schedule.Schedule
 	)
-	err := pool.Batch(ctx, 1, func(int) error {
+	err = pool.Batch(ctx, 1, func(int) error {
 		var err error
 		scen, err = spec.BuildScenario()
 		if err != nil {
 			return err
 		}
-		cache = makespan.NewEvalCache(scen, cfg.GridSize)
+		cache = makespan.NewEvalCacheAccuracy(scen, acc)
 		rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
 		scheds = heuristics.RandomSchedules(scen, cfg.schedulesFor(scen.G.N()), rng)
 		return nil

@@ -34,6 +34,12 @@ type RunOptions struct {
 // grew in the middle.
 const caseCacheVersion = "repro/case/v3"
 
+// caseCacheVersionAcc tags entries computed under a non-reference
+// resampling policy (EvalAccuracy with a tightened work-grid cap). The
+// reference policy keeps emitting v3 keys, so the accuracy knob's
+// default never invalidates caches written before it existed.
+const caseCacheVersionAcc = "repro/case/v4"
+
 // CaseCacheKey derives the disk-cache key of a case: a hash of the
 // full spec (workload family by stable name) and every configuration
 // field that can affect the result. Worker count never does. The correlation cases are evaluated
@@ -43,9 +49,17 @@ const caseCacheVersion = "repro/case/v3"
 // computed under a different realization stream. The Monte-Carlo
 // fields are hashed in canonical form ("" and "exact" name the same
 // sampler; block size <= 0 means schedule.DefaultBlockSize), so
-// spelling a default out explicitly never invalidates a cache.
+// spelling a default out explicitly never invalidates a cache. The
+// evaluation accuracy follows the same rule: any spelling that resolves
+// to the reference resampling policy hashes exactly like the
+// pre-accuracy configs (v3, grid size only), while a tightened
+// work-grid cap moves to v4 keys that include the cap.
 func CaseCacheKey(spec CaseSpec, cfg Config) (string, error) {
 	mode, err := stochastic.ParseSamplerMode(cfg.MCSampler)
+	if err != nil {
+		return "", err
+	}
+	acc, err := cfg.EvalAccuracyValue()
 	if err != nil {
 		return "", err
 	}
@@ -53,14 +67,25 @@ func CaseCacheKey(spec CaseSpec, cfg Config) (string, error) {
 	if blockSize <= 0 {
 		blockSize = schedule.DefaultBlockSize
 	}
-	return runner.Key(caseCacheVersion, spec, struct {
+	if acc.WorkGrid == stochastic.DefaultMaxWorkGrid {
+		return runner.Key(caseCacheVersion, spec, struct {
+			Schedules   int
+			GridSize    int
+			Delta       float64
+			Gamma       float64
+			MCSampler   string
+			MCBlockSize int
+		}{cfg.Schedules, acc.GridSize, cfg.Delta, cfg.Gamma, mode.String(), blockSize})
+	}
+	return runner.Key(caseCacheVersionAcc, spec, struct {
 		Schedules   int
 		GridSize    int
+		WorkGrid    int
 		Delta       float64
 		Gamma       float64
 		MCSampler   string
 		MCBlockSize int
-	}{cfg.Schedules, cfg.GridSize, cfg.Delta, cfg.Gamma, mode.String(), blockSize})
+	}{cfg.Schedules, acc.GridSize, acc.WorkGrid, cfg.Delta, cfg.Gamma, mode.String(), blockSize})
 }
 
 // RunCases executes every spec concurrently on one shared worker

@@ -55,8 +55,12 @@ type SDHEFTPoint struct {
 // runCorr draws schedules for a prepared scenario and returns
 // Pearson(E(M), σ_M) over them.
 func runCorr(scen *platform.Scenario, nSched int, seed int64, cfg Config) (float64, error) {
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return 0, err
+	}
 	rng := rand.New(rand.NewSource(seed))
-	cache := makespan.NewEvalCache(scen, cfg.GridSize)
+	cache := makespan.NewEvalCacheAccuracy(scen, acc)
 	mk := make([]float64, 0, nSched)
 	sd := make([]float64, 0, nSched)
 	for i := 0; i < nSched; i++ {
@@ -77,6 +81,10 @@ func runCorr(scen *platform.Scenario, nSched int, seed int64, cfg Config) (float
 // equivalence breaks, the makespan↔σ correlation drops, and a
 // σ-aware heuristic (SDHEFT) can buy robustness that HEFT cannot see.
 func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return nil, err
+	}
 	if lambda <= 0 {
 		lambda = 1
 	}
@@ -100,7 +108,7 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 		return nil, err
 	}
 
-	varCache := makespan.NewEvalCache(varScen, cfg.GridSize)
+	varCache := makespan.NewEvalCacheAccuracy(varScen, acc)
 	hr, err := heuristics.HEFT(varScen)
 	if err != nil {
 		return nil, err
@@ -143,7 +151,7 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 
 	// Noisy-processor study (mean-equalized stable vs noisy machines).
 	noisy := base.WithNoisyProcessors(1.02, 2.0)
-	noisyCache := makespan.NewEvalCache(noisy, cfg.GridSize)
+	noisyCache := makespan.NewEvalCacheAccuracy(noisy, acc)
 	nh, err := heuristics.HEFT(noisy)
 	if err != nil {
 		return nil, err
@@ -172,6 +180,10 @@ func VariableUL(cfg Config, lambda float64) (*VariableULResult, error) {
 // matrix over the random schedules so callers can verify the metric
 // equivalences survive the distribution swap.
 func OscillatingDurationsCase(cfg Config) (*CaseResult, error) {
+	cfg, acc, err := cfg.resolveAccuracy()
+	if err != nil {
+		return nil, err
+	}
 	spec := Fig3Case(cfg.Seed + 23)
 	spec.Name = "oscillating-" + spec.Name
 	spec.UL = 1.2 // widen the interval so the lobes are visible
@@ -189,7 +201,7 @@ func OscillatingDurationsCase(cfg Config) (*CaseResult, error) {
 	nSched := cfg.schedulesFor(scen.G.N())
 	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5DEECE66D))
 	scheds := heuristics.RandomSchedules(scen, nSched, rng)
-	cache := makespan.NewEvalCache(scen, cfg.GridSize)
+	cache := makespan.NewEvalCacheAccuracy(scen, acc)
 	metrics := make([]robustness.Metrics, nSched)
 	for i, s := range scheds {
 		m, err := evaluateOne(cache, s, cfg)

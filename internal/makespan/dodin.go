@@ -1,12 +1,43 @@
 package makespan
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/stochastic"
 )
+
+// ReductionError is the typed failure of a series-parallel reduction:
+// the graph could not be contracted to a single node, either because
+// cone duplication exhausted the node budget or because no reduction or
+// duplication applies (stuck). It is the only error class the Dodin
+// evaluators treat as "fall back to the classical method" — every other
+// failure (an invalid schedule, for example) propagates, matching the
+// no-silent-fallback convention of the workload registry.
+type ReductionError struct {
+	Live   int  // live nodes remaining
+	Total  int  // total nodes ever created
+	Budget int  // node budget in force
+	Stuck  bool // no duplication candidate existed
+}
+
+func (e *ReductionError) Error() string {
+	if e.Stuck {
+		return fmt.Sprintf("makespan: series-parallel reduction stuck with %d nodes", e.Live)
+	}
+	return fmt.Sprintf("makespan: series-parallel reduction exceeded node budget (%d live, %d total, budget %d)",
+		e.Live, e.Total, e.Budget)
+}
+
+// IsReductionError reports whether err is a series-parallel
+// ReductionError — the class of Dodin failures for which the classical
+// evaluation is the documented fallback.
+func IsReductionError(err error) bool {
+	var re *ReductionError
+	return errors.As(err, &re)
+}
 
 // rvGraph is a mutable DAG used by Dodin's series-parallel reduction.
 // Nodes carry activity random variables (task durations); edges carry
@@ -287,10 +318,10 @@ func (g *rvGraph) reduce(maxNodes int) (*stochastic.Numeric, error) {
 			continue
 		}
 		if len(g.rv) >= maxNodes {
-			return nil, fmt.Errorf("makespan: series-parallel reduction exceeded node budget (%d live, %d total)", g.live, len(g.rv))
+			return nil, &ReductionError{Live: g.live, Total: len(g.rv), Budget: maxNodes}
 		}
 		if g.duplicateCone() == 0 {
-			return nil, fmt.Errorf("makespan: series-parallel reduction stuck with %d nodes", g.live)
+			return nil, &ReductionError{Live: g.live, Total: len(g.rv), Budget: maxNodes, Stuck: true}
 		}
 	}
 	for _, rv := range g.rv {
@@ -301,19 +332,26 @@ func (g *rvGraph) reduce(maxNodes int) (*stochastic.Numeric, error) {
 	return stochastic.NewPoint(0), nil
 }
 
-// EvaluateDodin evaluates the makespan distribution by Dodin's method:
-// the disjunctive graph becomes a graph whose nodes carry task-duration
-// variables and whose edges carry communication variables, reduced by
-// series convolutions and parallel maxima; non-series-parallel
-// remainders are unlocked by duplicating shared predecessors. When the
-// duplication budget is exceeded the classical evaluation is used as a
-// fallback (documented in DESIGN.md).
+// EvaluateDodin evaluates the makespan distribution by Dodin's method
+// on the retained map-based reduction — the differential reference for
+// the compiled EvalModel.Dodin: the disjunctive graph becomes a graph
+// whose nodes carry task-duration variables and whose edges carry
+// communication variables, reduced by series convolutions and parallel
+// maxima; non-series-parallel remainders are unlocked by duplicating
+// shared predecessors. When — and only when — the reduction itself
+// fails (a *ReductionError: budget exhausted or stuck) the classical
+// evaluation is used as a fallback (documented in DESIGN.md); any other
+// error, such as an invalid schedule, propagates.
 func EvaluateDodin(scen *platform.Scenario, s *schedule.Schedule, gridSize int) (*stochastic.Numeric, error) {
 	rv, err := evaluateDodin(scen, s, gridSize)
 	if err != nil {
-		// Documented fallback: the classical evaluation makes the same
-		// independence approximation without needing SP structure.
-		return EvaluateClassic(scen, s, gridSize)
+		if IsReductionError(err) {
+			// Documented fallback: the classical evaluation makes the
+			// same independence approximation without needing SP
+			// structure.
+			return EvaluateClassic(scen, s, gridSize)
+		}
+		return nil, err
 	}
 	return rv, nil
 }

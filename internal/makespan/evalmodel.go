@@ -1,6 +1,7 @@
 package makespan
 
 import (
+	"fmt"
 	"math"
 	"sync"
 
@@ -34,7 +35,7 @@ import (
 // already places on them.
 type EvalCache struct {
 	scen *platform.Scenario
-	grid int
+	acc  stochastic.EvalAccuracy // canonical
 
 	csrOnce sync.Once
 	csr     *dag.CSR
@@ -78,15 +79,21 @@ func (e *cacheEntry) numeric(grid int) *stochastic.Numeric {
 // of densities alive.
 const maxCacheEntries = 1 << 18
 
-// NewEvalCache builds the shared evaluation state for one scenario.
-// gridSize <= 0 selects the paper's 64-point densities.
+// NewEvalCache builds the shared evaluation state for one scenario at
+// the reference resampling policy. gridSize <= 0 selects the paper's
+// 64-point densities.
 func NewEvalCache(scen *platform.Scenario, gridSize int) *EvalCache {
-	if gridSize <= 0 {
-		gridSize = stochastic.DefaultGridSize
-	}
+	return NewEvalCacheAccuracy(scen, stochastic.EvalAccuracy{GridSize: gridSize})
+}
+
+// NewEvalCacheAccuracy builds the shared evaluation state for one
+// scenario under an explicit accuracy contract. Every density the cache
+// memoizes and every operator its models run uses acc, so two caches at
+// different accuracies never share discretizations.
+func NewEvalCacheAccuracy(scen *platform.Scenario, acc stochastic.EvalAccuracy) *EvalCache {
 	return &EvalCache{
 		scen: scen,
-		grid: gridSize,
+		acc:  acc.Canon(),
 		rvs:  make(map[distKey]*cacheEntry),
 	}
 }
@@ -96,7 +103,10 @@ func (c *EvalCache) Scenario() *platform.Scenario { return c.scen }
 
 // GridSize returns the density grid size of the cache's
 // discretizations.
-func (c *EvalCache) GridSize() int { return c.grid }
+func (c *EvalCache) GridSize() int { return c.acc.GridSize }
+
+// Accuracy returns the cache's evaluation accuracy contract.
+func (c *EvalCache) Accuracy() stochastic.EvalAccuracy { return c.acc }
 
 // flat returns the lazily built scenario-graph CSR and comm classes.
 func (c *EvalCache) flat() (*dag.CSR, platform.CommClasses) {
@@ -263,7 +273,8 @@ func (m *EvalModel) Schedule() *schedule.Schedule { return m.sched }
 // the reference's own, with the densities flowing through a recycling
 // workspace instead of fresh allocations.
 func (m *EvalModel) Classic() *stochastic.Numeric {
-	grid := m.cache.grid
+	acc := m.cache.acc
+	grid := acc.GridSize
 	ops := m.cache.getOps()
 	defer m.cache.putOps(ops)
 	d := m.d
@@ -295,10 +306,10 @@ func (m *EvalModel) Classic() *stochastic.Numeric {
 			arrival := completion[p]
 			arrivalOwned := false
 			if e := m.comm[k]; e != nil {
-				arrival = ops.Add(completion[p], e.numeric(grid), grid)
+				arrival = ops.AddAcc(completion[p], e.numeric(grid), acc)
 				arrivalOwned = true
 			}
-			next := ops.Max(start, arrival, grid)
+			next := ops.MaxAcc(start, arrival, acc)
 			if startOwned {
 				ops.Recycle(start)
 			}
@@ -309,7 +320,7 @@ func (m *EvalModel) Classic() *stochastic.Numeric {
 			start = next
 			startOwned = true
 		}
-		completion[t] = ops.Add(start, m.dur[t].numeric(grid), grid)
+		completion[t] = ops.AddAcc(start, m.dur[t].numeric(grid), acc)
 		if startOwned {
 			ops.Recycle(start)
 		}
@@ -317,7 +328,7 @@ func (m *EvalModel) Classic() *stochastic.Numeric {
 	makespan := zero
 	owned := false
 	for _, s := range d.Sinks {
-		next := ops.Max(makespan, completion[s], grid)
+		next := ops.MaxAcc(makespan, completion[s], acc)
 		if owned {
 			ops.Recycle(makespan)
 		}
@@ -381,6 +392,13 @@ func (m *EvalModel) Spelde() SpeldeResult {
 // that path: top/bottom levels are pure float maxima, which are
 // accumulation-order independent.
 func (m *EvalModel) Slacks() []float64 {
+	slacks, _ := m.slacksCP()
+	return slacks
+}
+
+// slacksCP computes the slack vector together with the mean-duration
+// critical-path length it is defined against (cp = max_t tl(t)+bl(t)).
+func (m *EvalModel) slacksCP() ([]float64, float64) {
 	d := m.d
 	n := d.N
 	tl := make([]float64, n)
@@ -419,7 +437,7 @@ func (m *EvalModel) Slacks() []float64 {
 		}
 		out[t] = s
 	}
-	return out
+	return out, cp
 }
 
 // Metrics evaluates the full eight-metric robustness vector of the
@@ -429,4 +447,38 @@ func (m *EvalModel) Slacks() []float64 {
 // experiment, and the call RunCaseOn fans out over its worker pool.
 func (m *EvalModel) Metrics(p robustness.Params) robustness.Metrics {
 	return robustness.FromDistributionSlacks(m.Classic(), m.Slacks(), p)
+}
+
+// MetricsFromSamples evaluates the metric vector with the distribution
+// metrics taken from Monte-Carlo samples and the slack metrics from
+// the compiled slack vector — the model-holding form of
+// robustness.FromSamples, without the per-call disjunctive rebuild.
+func (m *EvalModel) MetricsFromSamples(emp *stochastic.Empirical, p robustness.Params) robustness.Metrics {
+	return robustness.FromSamplesSlacks(emp, m.Slacks(), p)
+}
+
+// MetricsFromKernelStats is MetricsFromSamples for the realization
+// kernel's streaming accumulator — the model-holding form of
+// robustness.FromKernelStats.
+func (m *EvalModel) MetricsFromKernelStats(st *schedule.MCStats, p robustness.Params) robustness.Metrics {
+	return robustness.FromKernelStatsSlacks(st, m.Slacks(), p)
+}
+
+// SlackIdentity runs the paper's §V consistency test on the compiled
+// slack vector — a zero-slack (critical-path) task must exist — and
+// returns the critical-path length on mean durations. It is the
+// model-holding form of robustness.VerifySlackIdentity, computed from
+// EvalModel.Slacks instead of a rebuilt map-based disjunctive graph.
+func (m *EvalModel) SlackIdentity() (float64, error) {
+	slacks, cp := m.slacksCP()
+	min := math.Inf(1)
+	for _, v := range slacks {
+		if v < min {
+			min = v
+		}
+	}
+	if min > 1e-6 {
+		return 0, fmt.Errorf("makespan: no zero-slack task (min slack %g)", min)
+	}
+	return cp, nil
 }

@@ -132,9 +132,33 @@ func applySlacks(m *Metrics, slacks []float64) {
 
 // FromSamples computes the metrics from Monte-Carlo makespan samples;
 // the entropy uses a histogram density with the same grid size as the
-// analytic pipeline.
+// analytic pipeline. This is the retained reference path: it rebuilds
+// the schedule's disjunctive graph to derive the slack metrics.
+// Pipelines that already hold a compiled evaluation model
+// (makespan.EvalModel) call its MetricsFromSamples, which pairs
+// FromSamplesSlacks with the model's slack vector — identical values,
+// no rebuild.
 func FromSamples(scen *platform.Scenario, s *schedule.Schedule, emp *stochastic.Empirical, p Params) (Metrics, error) {
 	var m Metrics
+	fillSampleDist(&m, emp, p)
+	if err := fillSlack(scen, s, &m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// FromSamplesSlacks computes the metric vector from Monte-Carlo
+// makespan samples and a precomputed per-task slack vector (§IV, mean
+// durations) — the compiled-evaluation form of FromSamples.
+func FromSamplesSlacks(emp *stochastic.Empirical, slacks []float64, p Params) Metrics {
+	var m Metrics
+	fillSampleDist(&m, emp, p)
+	applySlacks(&m, slacks)
+	return m
+}
+
+// fillSampleDist fills the distribution-based metrics from samples.
+func fillSampleDist(m *Metrics, emp *stochastic.Empirical, p Params) {
 	m.Makespan = emp.Mean()
 	m.StdDev = emp.StdDev()
 	m.Entropy = emp.ToNumeric(p.GridSize).Entropy()
@@ -143,10 +167,6 @@ func FromSamples(scen *platform.Scenario, s *schedule.Schedule, emp *stochastic.
 	if p.Gamma > 0 {
 		m.RelProb = emp.ProbWithin(m.Makespan/p.Gamma, m.Makespan*p.Gamma)
 	}
-	if err := fillSlack(scen, s, &m); err != nil {
-		return m, err
-	}
-	return m, nil
 }
 
 // FromKernelStats computes the metrics from the realization kernel's
@@ -158,6 +178,26 @@ func FromSamples(scen *platform.Scenario, s *schedule.Schedule, emp *stochastic.
 // estimates, accurate to the accumulator's bin width.
 func FromKernelStats(scen *platform.Scenario, s *schedule.Schedule, st *schedule.MCStats, p Params) (Metrics, error) {
 	var m Metrics
+	fillKernelDist(&m, st, p)
+	if err := fillSlack(scen, s, &m); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// FromKernelStatsSlacks computes the metric vector from the kernel's
+// streaming accumulator and a precomputed per-task slack vector — the
+// compiled-evaluation form of FromKernelStats.
+func FromKernelStatsSlacks(st *schedule.MCStats, slacks []float64, p Params) Metrics {
+	var m Metrics
+	fillKernelDist(&m, st, p)
+	applySlacks(&m, slacks)
+	return m
+}
+
+// fillKernelDist fills the distribution-based metrics from the
+// streaming accumulator.
+func fillKernelDist(m *Metrics, st *schedule.MCStats, p Params) {
 	m.Makespan = st.Mean()
 	m.StdDev = st.StdDev()
 	m.Entropy = st.ToNumeric(p.GridSize).Entropy()
@@ -166,10 +206,6 @@ func FromKernelStats(scen *platform.Scenario, s *schedule.Schedule, st *schedule
 	if p.Gamma > 0 {
 		m.RelProb = st.ProbWithin(m.Makespan/p.Gamma, m.Makespan*p.Gamma)
 	}
-	if err := fillSlack(scen, s, &m); err != nil {
-		return m, err
-	}
-	return m, nil
 }
 
 // latenessOf computes E(M') − E(M) where M' is M conditioned on
@@ -242,7 +278,10 @@ func fillSlack(scen *platform.Scenario, s *schedule.Schedule, m *Metrics) error 
 // VerifySlackIdentity checks the paper's §V consistency test: the
 // bottom level of an entry task on the critical path equals the
 // critical-path length, i.e. a zero-slack task exists. Returns the
-// critical-path length on mean durations.
+// critical-path length on mean durations. This is the retained
+// map-graph reference; the compiled path is
+// makespan.EvalModel.SlackIdentity, which runs the same test on the
+// model's flat slack vector.
 func VerifySlackIdentity(scen *platform.Scenario, s *schedule.Schedule) (float64, error) {
 	dg, err := s.Disjunctive(scen.G)
 	if err != nil {

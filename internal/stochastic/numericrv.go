@@ -12,9 +12,11 @@ import (
 // interpolation "largely sufficient".
 const DefaultGridSize = 64
 
-// maxWorkGrid caps the intermediate grid used during convolution so that
-// summing a very wide density with a very narrow one stays bounded.
-const maxWorkGrid = 8192
+// DefaultMaxWorkGrid caps the intermediate grid used during convolution
+// so that summing a very wide density with a very narrow one stays
+// bounded. It is the reference value of EvalAccuracy.WorkGrid; lower
+// caps trade accuracy on wide×narrow sums for speed.
+const DefaultMaxWorkGrid = 8192
 
 // Numeric is a random variable represented numerically by its density
 // sampled on a uniform grid over [lo, hi] (endpoints included). It
@@ -365,11 +367,20 @@ func (rv *Numeric) resampleStep(h float64) []float64 {
 
 // Add returns the distribution of X+Y assuming independence, by
 // convolving the densities (FFT / overlap-add) and resampling the result
-// to gridSize points. gridSize <= 0 selects DefaultGridSize.
+// to gridSize points. gridSize <= 0 selects DefaultGridSize. The
+// intermediate grid uses the reference work-grid cap; AddAcc exposes
+// the cap as part of an EvalAccuracy.
 func (rv *Numeric) Add(other *Numeric, gridSize int) *Numeric {
-	if gridSize <= 0 {
-		gridSize = DefaultGridSize
-	}
+	return rv.AddAcc(other, EvalAccuracy{GridSize: gridSize})
+}
+
+// AddAcc is Add under an explicit accuracy contract: the result density
+// has acc.GridSize samples and the intermediate convolution grid is
+// capped at acc.WorkGrid points. AddAcc with a reference accuracy is
+// bit-identical to Add.
+func (rv *Numeric) AddAcc(other *Numeric, acc EvalAccuracy) *Numeric {
+	acc = acc.Canon()
+	gridSize := acc.GridSize
 	if rv.point {
 		return other.Shift(rv.lo)
 	}
@@ -379,8 +390,8 @@ func (rv *Numeric) Add(other *Numeric, gridSize int) *Numeric {
 	lo := rv.lo + other.lo
 	hi := rv.hi + other.hi
 	h := math.Min(rv.Step(), other.Step())
-	if w := hi - lo; w/h > maxWorkGrid {
-		h = w / maxWorkGrid
+	if w, wcap := hi-lo, float64(acc.WorkGrid); w/h > wcap {
+		h = w / wcap
 	}
 	pa := rv.resampleStep(h)
 	pb := other.resampleStep(h)
@@ -407,6 +418,13 @@ func (rv *Numeric) Add(other *Numeric, gridSize int) *Numeric {
 
 // AddConst returns X + c.
 func (rv *Numeric) AddConst(c float64) *Numeric { return rv.Shift(c) }
+
+// MaxAcc is MaxWith under an explicit accuracy contract. The maximum
+// never builds an intermediate grid, so only acc.GridSize matters;
+// MaxAcc with a reference accuracy is bit-identical to MaxWith.
+func (rv *Numeric) MaxAcc(other *Numeric, acc EvalAccuracy) *Numeric {
+	return rv.MaxWith(other, acc.Canon().GridSize)
+}
 
 // MaxWith returns the distribution of max(X, Y) assuming independence:
 // F(x) = F_X(x)·F_Y(x), densified by f = f_X·F_Y + F_X·f_Y on a

@@ -75,6 +75,12 @@ func (o *Ops) Recycle(rv *Numeric) {
 	rv.pdf = nil
 }
 
+// Copy mirrors Numeric.Clone with the copy's density drawn from the
+// free list: the result is owned by the caller and may be Recycled.
+// Dodin's cone duplication clones shared sub-structures through it so
+// the copies stay inside the workspace's buffer discipline.
+func (o *Ops) Copy(rv *Numeric) *Numeric { return o.copyOf(rv) }
+
 // copyOf mirrors Numeric.Clone with the copy drawn from the free list.
 func (o *Ops) copyOf(rv *Numeric) *Numeric {
 	out := &Numeric{lo: rv.lo, hi: rv.hi, point: rv.point}
@@ -127,9 +133,15 @@ func (o *Ops) resampleStepInto(dst *[]float64, rv *Numeric, h float64) []float64
 // Add returns the distribution of a+b, bit-identical to
 // a.Add(b, gridSize), with all intermediates drawn from the workspace.
 func (o *Ops) Add(a, b *Numeric, gridSize int) *Numeric {
-	if gridSize <= 0 {
-		gridSize = DefaultGridSize
-	}
+	return o.AddAcc(a, b, EvalAccuracy{GridSize: gridSize})
+}
+
+// AddAcc is Add under an explicit accuracy contract, bit-identical to
+// a.AddAcc(b, acc): the result density has acc.GridSize samples and the
+// intermediate convolution grid is capped at acc.WorkGrid points.
+func (o *Ops) AddAcc(a, b *Numeric, acc EvalAccuracy) *Numeric {
+	acc = acc.Canon()
+	gridSize := acc.GridSize
 	if a.point {
 		return o.shiftCopy(b, a.lo)
 	}
@@ -139,8 +151,8 @@ func (o *Ops) Add(a, b *Numeric, gridSize int) *Numeric {
 	lo := a.lo + b.lo
 	hi := a.hi + b.hi
 	h := math.Min(a.Step(), b.Step())
-	if w := hi - lo; w/h > maxWorkGrid {
-		h = w / maxWorkGrid
+	if w, wcap := hi-lo, float64(acc.WorkGrid); w/h > wcap {
+		h = w / wcap
 	}
 	pa := o.resampleStepInto(&o.pa, a, h)
 	pb := o.resampleStepInto(&o.pb, b, h)
@@ -252,6 +264,12 @@ func (o *Ops) cdfOnGridInto(dst *[]float64, rv *Numeric, xs []float64) []float64
 		}
 	}
 	return out
+}
+
+// MaxAcc is Max under an explicit accuracy contract (the maximum never
+// builds an intermediate grid, so only acc.GridSize matters).
+func (o *Ops) MaxAcc(x, y *Numeric, acc EvalAccuracy) *Numeric {
+	return o.Max(x, y, acc.Canon().GridSize)
 }
 
 // Max returns the distribution of max(x, y), bit-identical to

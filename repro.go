@@ -75,7 +75,29 @@ type (
 	// vector and the full metric vector, bit-identical to the
 	// uncompiled reference evaluators.
 	EvalModel = makespan.EvalModel
+	// EvalAccuracy is the discretization contract of the numeric
+	// evaluation stack: density grid size plus the resampling policy
+	// (work-grid cap) of the convolution operators. The zero value is
+	// the paper's reference contract.
+	EvalAccuracy = stochastic.EvalAccuracy
 )
+
+// Named evaluation-accuracy presets. AccuracyReference reproduces the
+// paper's published contract bit-for-bit; AccuracyFast and
+// AccuracyCoarse trade measured per-metric error (see the README's
+// "Evaluation accuracy" section) for speed.
+var (
+	AccuracyReference = stochastic.AccuracyReference
+	AccuracyFast      = stochastic.AccuracyFast
+	AccuracyCoarse    = stochastic.AccuracyCoarse
+)
+
+// ParseEvalAccuracy parses an accuracy spelling: a preset name
+// ("reference", "fast", "coarse") or explicit "grid=G[,work=W]" fields.
+// Malformed spellings are errors, never a silent fallback.
+func ParseEvalAccuracy(s string) (EvalAccuracy, error) {
+	return stochastic.ParseEvalAccuracy(s)
+}
 
 // Sampler modes re-exported from the stochastic package.
 const (
@@ -189,6 +211,14 @@ func MonteCarloStats(scen *Scenario, s *Schedule, count int, seed int64, opt MCO
 // per schedule.
 func NewEvalCache(scen *Scenario, gridSize int) *EvalCache {
 	return makespan.NewEvalCache(scen, gridSize)
+}
+
+// NewEvalCacheAccuracy is NewEvalCache with a full accuracy contract:
+// the zero value (or AccuracyReference) reproduces the paper's
+// evaluation bit-for-bit, AccuracyFast and AccuracyCoarse trade
+// measured error for speed.
+func NewEvalCacheAccuracy(scen *Scenario, acc EvalAccuracy) *EvalCache {
+	return makespan.NewEvalCacheAccuracy(scen, acc)
 }
 
 // ComputeMetrics evaluates the makespan distribution with the
