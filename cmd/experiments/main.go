@@ -30,7 +30,21 @@
 // figure: the default "reference" reproduces the paper's 64-point
 // contract bit-for-bit, "fast" and "coarse" trade measured error for
 // speed, and -fig accuracy regenerates the study quantifying that
-// error per metric across all workload families.
+// error per metric across all workload families and per schedule
+// source (random and heuristic schedules discretize differently).
+//
+// Case execution is supervised: a panicking case fails with a typed
+// error instead of crashing the run, -case-timeout bounds each
+// attempt, -max-retries re-runs failed cases from their case seed
+// (delivered results stay byte-identical to a fault-free run), and
+// -degrade-on-timeout trades accuracy for completion when every timed
+// attempt hits the deadline. -keep-going completes a sweep past
+// permanently failed cases. Whenever anything non-clean happens — a
+// retry, degradation, failure, or a cache entry that failed its
+// checksum and was quarantined — a failure summary lands on stderr
+// and, with -out, in failure_report.json. -chaos arms deterministic
+// fault injection (panics, delays, errors, cache corruption at named
+// sites) to drill exactly those paths.
 //
 // Usage:
 //
@@ -40,6 +54,8 @@
 //	            [-eval-accuracy reference|fast|coarse|grid=G[,work=W]]
 //	            [-families A,B,...] [-sweep-sizes N,...] [-sweep-uls U,...]
 //	            [-sweep-reps R]
+//	            [-case-timeout D] [-max-retries N] [-degrade-on-timeout]
+//	            [-keep-going] [-chaos SPEC] [-chaos-seed N]
 //
 // -sampler selects the Monte-Carlo realization engine: "exact" keeps
 // the bit-stable reference stream, "table" switches the Beta samplers
@@ -61,8 +77,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/resilience"
 	"repro/internal/runner"
 )
 
@@ -82,6 +100,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write JSON reports (figN.json; CSV matrices beside case figures when -out is set)")
 	resume := flag.Bool("resume", false, "cache finished cases on disk and reuse them on rerun (default dir: .experiments-cache)")
 	cacheDir := flag.String("cache-dir", "", "case-result cache directory (implies -resume)")
+	caseTimeout := flag.Duration("case-timeout", 0, "deadline per case attempt (0 = none)")
+	maxRetries := flag.Int("max-retries", 0, "retries per failed case (attempts = 1+N, deterministic jittered backoff)")
+	degradeOnTimeout := flag.Bool("degrade-on-timeout", false, "when every timed attempt hits -case-timeout, deliver the case once at the next coarser -eval-accuracy preset (marked in the result and the failure report)")
+	keepGoing := flag.Bool("keep-going", false, "complete a sweep past permanently failed cases; failures are enumerated in the failure report instead of aborting siblings")
+	chaos := flag.String("chaos", "", "comma-separated fault injections kind@site[:dur] with kind panic|delay|error|corrupt (e.g. 'panic@attempt0/eval/0,delay@attempt0/build:3s,corrupt@'); site is a substring of injection-site names, empty matches all")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for chaos-injection decisions")
 	// The sweep defaults cover every family whose size grid reaches the
 	// paper's ~{10,30,100} targets; strassen (25, 193, 1369, ... tasks)
 	// is opt-in with matching -sweep-sizes.
@@ -205,11 +229,32 @@ func main() {
 		os.Exit(130)
 	}()
 
+	cfg.CaseTimeout = *caseTimeout
+	cfg.MaxRetries = *maxRetries
+	cfg.DegradeOnTimeout = *degradeOnTimeout
+
 	env := &runEnv{ctx: ctx, cfg: cfg, outDir: *out, json: *jsonOut}
 	var err error
 	if env.sweep, err = parseSweep(*families, *sweepSizes, *sweepULs, *sweepReps); err != nil {
 		fatalf("%v", err)
 	}
+
+	// Every run carries a failure report; it is only written out when
+	// something non-clean happened (a retry, degradation, failure,
+	// quarantined cache entry, or injected fault).
+	report := experiment.NewRunReport()
+	env.opts.Report = report
+	env.opts.KeepGoing = *keepGoing
+	var injector *resilience.Injector
+	if *chaos != "" {
+		if injector, err = parseChaos(*chaosSeed, *chaos); err != nil {
+			fatalf("%v", err)
+		}
+		env.opts.Injector = injector
+		report.AttachInjector(injector)
+		log.Printf("chaos injection armed: %s (seed %d)", *chaos, *chaosSeed)
+	}
+
 	if *cacheDir == "" && *resume {
 		*cacheDir = ".experiments-cache"
 	}
@@ -219,6 +264,10 @@ func main() {
 			fatalf("%v", err)
 		}
 		log.Printf("case cache at %s", cache.Dir())
+		report.AttachCache(cache)
+		if injector != nil {
+			cache.SetCorruptor(injector.Corrupt)
+		}
 		env.opts.Cache = cache
 	}
 
@@ -240,6 +289,69 @@ func main() {
 			fatalf("fig %s: %v", f, err)
 		}
 	}
+
+	// Surface everything non-clean: the text summary on stderr always,
+	// plus failure_report.json next to the figures when -out is set. A
+	// sweep that survived its faults (retries, degradations, -keep-going
+	// failures, quarantined cache entries) still exits 0 — the report is
+	// the contract for noticing what happened.
+	if report.Eventful() {
+		d := report.Snapshot()
+		var sb strings.Builder
+		experiment.WriteRunReport(&sb, d)
+		for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+			log.Print(line)
+		}
+		if *out != "" {
+			if err := env.writeFile("failure_report.json", func(w io.Writer) error {
+				return experiment.WriteJSON(w, d)
+			}); err != nil {
+				fatalf("failure report: %v", err)
+			}
+		}
+	}
+}
+
+// parseChaos assembles the -chaos fault list: comma-separated
+// kind@site tokens, with an optional :duration suffix on delay faults.
+func parseChaos(seed int64, spec string) (*resilience.Injector, error) {
+	var faults []resilience.Fault
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kind, site, ok := strings.Cut(tok, "@")
+		if !ok {
+			return nil, fmt.Errorf("-chaos: %q is not kind@site", tok)
+		}
+		f := resilience.Fault{Site: site}
+		switch kind {
+		case "panic":
+			f.Kind = resilience.KindPanic
+		case "delay":
+			f.Kind = resilience.KindDelay
+			if i := strings.LastIndex(site, ":"); i >= 0 {
+				d, err := time.ParseDuration(site[i+1:])
+				if err != nil {
+					return nil, fmt.Errorf("-chaos: delay duration in %q: %v", tok, err)
+				}
+				f.Delay = d
+				f.Site = site[:i]
+			}
+		case "error":
+			f.Kind = resilience.KindError
+		case "corrupt":
+			f.Kind = resilience.KindCorrupt
+		default:
+			return nil, fmt.Errorf("-chaos: unknown fault kind %q in %q (want panic|delay|error|corrupt)", kind, tok)
+		}
+		faults = append(faults, f)
+	}
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("-chaos: no faults in %q", spec)
+	}
+	return resilience.NewInjector(seed, faults...), nil
 }
 
 // runEnv carries the per-invocation state shared by every figure.

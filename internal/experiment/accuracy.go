@@ -10,6 +10,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/makespan"
 	"repro/internal/robustness"
+	"repro/internal/schedule"
 	"repro/internal/seeds"
 	"repro/internal/stochastic"
 )
@@ -17,21 +18,29 @@ import (
 // AccuracyRow is one setting of the accuracy study: the per-metric
 // relative error of evaluating every study case at this accuracy
 // instead of the 64-point reference, aggregated over all registered
-// workload families and schedules.
+// workload families. Random-schedule errors (MaxErr/MeanErr) and
+// heuristic-schedule errors (HeurMaxErr/HeurMeanErr) are kept apart:
+// heuristic schedules are compact where random ones sprawl, so their
+// discretization error profile is genuinely different.
 type AccuracyRow struct {
-	Accuracy string    `json:"accuracy"` // canonical spelling (ParseEvalAccuracy round-trips it)
-	GridSize int       `json:"grid_size"`
-	WorkGrid int       `json:"work_grid"`
-	MaxErr   []float64 `json:"max_rel_err"`  // per metric, MetricNames order
-	MeanErr  []float64 `json:"mean_rel_err"` // per metric, MetricNames order
+	Accuracy    string    `json:"accuracy"` // canonical spelling (ParseEvalAccuracy round-trips it)
+	GridSize    int       `json:"grid_size"`
+	WorkGrid    int       `json:"work_grid"`
+	MaxErr      []float64 `json:"max_rel_err"`                 // random schedules, per metric, MetricNames order
+	MeanErr     []float64 `json:"mean_rel_err"`                // random schedules, per metric
+	HeurMaxErr  []float64 `json:"heur_max_rel_err,omitempty"`  // heuristic schedules, per metric
+	HeurMeanErr []float64 `json:"heur_mean_rel_err,omitempty"` // heuristic schedules, per metric
 }
 
-// MaxOverMetrics returns the row's worst per-metric max error.
+// MaxOverMetrics returns the row's worst per-metric max error across
+// both schedule sources.
 func (r AccuracyRow) MaxOverMetrics() float64 {
 	worst := 0.0
-	for _, e := range r.MaxErr {
-		if e > worst {
-			worst = e
+	for _, errs := range [][]float64{r.MaxErr, r.HeurMaxErr} {
+		for _, e := range errs {
+			if e > worst {
+				worst = e
+			}
 		}
 	}
 	return worst
@@ -41,9 +50,10 @@ func (r AccuracyRow) MaxOverMetrics() float64 {
 // and coarse presets plus a density-grid sweep under the reference
 // resampling policy) against the reference evaluation.
 type AccuracyStudy struct {
-	Families  []string      `json:"families"`
-	Schedules int           `json:"schedules_per_family"`
-	Rows      []AccuracyRow `json:"rows"`
+	Families   []string      `json:"families"`
+	Schedules  int           `json:"schedules_per_family"` // random schedules drawn per family
+	Heuristics []string      `json:"heuristics"`           // heuristic schedules drawn per family
+	Rows       []AccuracyRow `json:"rows"`
 }
 
 // relErr is the study's error measure: relative to the reference
@@ -68,12 +78,70 @@ func studyAccuracies() []stochastic.EvalAccuracy {
 	return accs
 }
 
+// studySchedulesPerFamily maps the configured schedule budget onto the
+// study's per-family random draw: 1/18 of the budget, clamped to
+// [8, 64]. The default budget (150) keeps the historical draw of 8;
+// the paper-scale budget (-full, 10 000) saturates at 64 — the study's
+// cost is dominated by the reference evaluations, so it scales the
+// draw sub-linearly instead of inheriting the full correlation-sample
+// count.
+func studySchedulesPerFamily(cfg Config) int {
+	n := cfg.Schedules / 18
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// errAccumulator aggregates per-metric relative errors of one schedule
+// source against the reference vectors.
+type errAccumulator struct {
+	maxErr  [][]float64 // [accuracy][metric]
+	sumErr  [][]float64
+	samples int
+}
+
+func newErrAccumulator(nAccs, nMetrics int) *errAccumulator {
+	a := &errAccumulator{
+		maxErr: make([][]float64, nAccs),
+		sumErr: make([][]float64, nAccs),
+	}
+	for i := range a.maxErr {
+		a.maxErr[i] = make([]float64, nMetrics)
+		a.sumErr[i] = make([]float64, nMetrics)
+	}
+	return a
+}
+
+func (a *errAccumulator) add(i int, vec, refVec []float64) {
+	for c := range vec {
+		e := relErr(vec[c], refVec[c])
+		a.sumErr[i][c] += e
+		if e > a.maxErr[i][c] {
+			a.maxErr[i][c] = e
+		}
+	}
+}
+
+func (a *errAccumulator) mean(i int) []float64 {
+	out := make([]float64, len(a.sumErr[i]))
+	for c := range out {
+		out[c] = a.sumErr[i][c] / float64(a.samples)
+	}
+	return out
+}
+
 // AccuracyStudyRun measures the discretization error of every
 // non-reference accuracy: for each registered workload family it draws
-// a case and a handful of random schedules, evaluates the full metric
-// vector at the reference accuracy and at each studied accuracy, and
-// aggregates the per-metric relative errors. The README's "Evaluation
-// accuracy" numbers come from this report (cmd/experiments
+// a case, cfg-many random schedules (studySchedulesPerFamily — -full
+// widens the draw), and one schedule per registered heuristic, then
+// evaluates the full metric vector at the reference accuracy and at
+// each studied accuracy, aggregating the per-metric relative errors
+// separately for the random and the heuristic schedules. The README's
+// "Evaluation accuracy" numbers come from this report (cmd/experiments
 // -fig accuracy).
 func AccuracyStudyRun(cfg Config) (*AccuracyStudy, error) {
 	if err := cfg.ValidateEval(); err != nil {
@@ -81,18 +149,19 @@ func AccuracyStudyRun(cfg Config) (*AccuracyStudy, error) {
 	}
 	families := FamilyNames()
 	sort.Strings(families)
-	const schedulesPerFamily = 8
+	schedulesPerFamily := studySchedulesPerFamily(cfg)
+
+	hs := heuristics.All()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].Name < hs[j].Name })
 
 	accs := studyAccuracies()
 	study := &AccuracyStudy{Families: families, Schedules: schedulesPerFamily}
-	k := robustness.NumMetrics
-	maxErr := make([][]float64, len(accs))
-	sumErr := make([][]float64, len(accs))
-	for i := range accs {
-		maxErr[i] = make([]float64, k)
-		sumErr[i] = make([]float64, k)
+	for _, h := range hs {
+		study.Heuristics = append(study.Heuristics, h.Name)
 	}
-	samples := 0
+	k := robustness.NumMetrics
+	randErr := newErrAccumulator(len(accs), k)
+	heurErr := newErrAccumulator(len(accs), k)
 
 	for _, family := range families {
 		spec := CaseSpec{
@@ -111,45 +180,52 @@ func AccuracyStudyRun(cfg Config) (*AccuracyStudy, error) {
 		for i, acc := range accs {
 			caches[i] = makespan.NewEvalCacheAccuracy(scen, acc)
 		}
-		for _, s := range scheds {
+		measure := func(s *schedule.Schedule, into *errAccumulator) error {
 			refModel, err := refCache.Model(s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			p := cfg.params()
 			p.GridSize = stochastic.DefaultGridSize
 			refVec := refModel.Metrics(p).Vector()
-			samples++
+			into.samples++
 			for i, acc := range accs {
 				m, err := caches[i].Model(s)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				pa := p
 				pa.GridSize = acc.GridSize
 				vec := m.Metrics(pa).Vector()
-				for c := 0; c < k; c++ {
-					e := relErr(vec[c], refVec[c])
-					sumErr[i][c] += e
-					if e > maxErr[i][c] {
-						maxErr[i][c] = e
-					}
-				}
+				into.add(i, vec[:], refVec[:])
+			}
+			return nil
+		}
+		for _, s := range scheds {
+			if err := measure(s, randErr); err != nil {
+				return nil, err
+			}
+		}
+		for _, h := range hs {
+			hr, err := h.Fn(scen)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: accuracy study %s heuristic %s: %w", family, h.Name, err)
+			}
+			if err := measure(hr.Schedule, heurErr); err != nil {
+				return nil, err
 			}
 		}
 	}
 
 	for i, acc := range accs {
-		mean := make([]float64, k)
-		for c := range mean {
-			mean[c] = sumErr[i][c] / float64(samples)
-		}
 		study.Rows = append(study.Rows, AccuracyRow{
-			Accuracy: acc.String(),
-			GridSize: acc.GridSize,
-			WorkGrid: acc.WorkGrid,
-			MaxErr:   maxErr[i],
-			MeanErr:  mean,
+			Accuracy:    acc.String(),
+			GridSize:    acc.GridSize,
+			WorkGrid:    acc.WorkGrid,
+			MaxErr:      randErr.maxErr[i],
+			MeanErr:     randErr.mean(i),
+			HeurMaxErr:  heurErr.maxErr[i],
+			HeurMeanErr: heurErr.mean(i),
 		})
 	}
 	return study, nil
@@ -158,27 +234,40 @@ func AccuracyStudyRun(cfg Config) (*AccuracyStudy, error) {
 // WriteAccuracy renders the accuracy study as text.
 func WriteAccuracy(w io.Writer, st *AccuracyStudy) {
 	fmt.Fprintln(w, "# Evaluation accuracy study — per-metric relative error vs the 64-point reference")
-	fmt.Fprintf(w, "families: %d, schedules per family: %d\n\n", len(st.Families), st.Schedules)
+	fmt.Fprintf(w, "families: %d, random schedules per family: %d, heuristic schedules per family: %d\n\n",
+		len(st.Families), st.Schedules, len(st.Heuristics))
 	for _, kind := range []struct {
 		name string
 		pick func(AccuracyRow) []float64
 	}{
-		{"max relative error", func(r AccuracyRow) []float64 { return r.MaxErr }},
-		{"mean relative error", func(r AccuracyRow) []float64 { return r.MeanErr }},
+		{"max relative error (random schedules)", func(r AccuracyRow) []float64 { return r.MaxErr }},
+		{"mean relative error (random schedules)", func(r AccuracyRow) []float64 { return r.MeanErr }},
+		{"max relative error (heuristic schedules)", func(r AccuracyRow) []float64 { return r.HeurMaxErr }},
+		{"mean relative error (heuristic schedules)", func(r AccuracyRow) []float64 { return r.HeurMeanErr }},
 	} {
-		fmt.Fprintf(w, "## %s\n", kind.name)
-		fmt.Fprintf(w, "%-18s", "accuracy")
-		for _, name := range robustness.MetricNames {
-			fmt.Fprintf(w, " %9s", name)
-		}
-		fmt.Fprintln(w)
+		rendered := false
 		for _, row := range st.Rows {
+			errs := kind.pick(row)
+			if len(errs) == 0 {
+				continue // study predates heuristic-schedule columns
+			}
+			if !rendered {
+				fmt.Fprintf(w, "## %s\n", kind.name)
+				fmt.Fprintf(w, "%-18s", "accuracy")
+				for _, name := range robustness.MetricNames {
+					fmt.Fprintf(w, " %9s", name)
+				}
+				fmt.Fprintln(w)
+				rendered = true
+			}
 			fmt.Fprintf(w, "%-18s", row.Accuracy)
-			for _, e := range kind.pick(row) {
+			for _, e := range errs {
 				fmt.Fprintf(w, " %9.2e", e)
 			}
 			fmt.Fprintln(w)
 		}
-		fmt.Fprintln(w)
+		if rendered {
+			fmt.Fprintln(w)
+		}
 	}
 }

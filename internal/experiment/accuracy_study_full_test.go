@@ -1,0 +1,40 @@
+//go:build !race
+
+package experiment
+
+// The end-to-end accuracy study run is too heavy for the race tier;
+// the weekly full suite (no -race, no -short) exercises it.
+
+import (
+	"testing"
+
+	"repro/internal/robustness"
+)
+
+func TestAccuracyStudyRunIncludesHeuristicSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full accuracy study draws reference evaluations for every family")
+	}
+	st, err := AccuracyStudyRun(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Heuristics) == 0 {
+		t.Fatal("study drew no heuristic schedules")
+	}
+	for i := 1; i < len(st.Heuristics); i++ {
+		if st.Heuristics[i-1] >= st.Heuristics[i] {
+			t.Errorf("heuristic order %v not sorted", st.Heuristics)
+		}
+	}
+	for _, row := range st.Rows {
+		if len(row.HeurMaxErr) != robustness.NumMetrics || len(row.HeurMeanErr) != robustness.NumMetrics {
+			t.Fatalf("row %s lacks per-metric heuristic errors", row.Accuracy)
+		}
+		for c := range row.HeurMaxErr {
+			if row.HeurMaxErr[c] < row.HeurMeanErr[c] {
+				t.Errorf("row %s metric %d: max %v < mean %v", row.Accuracy, c, row.HeurMaxErr[c], row.HeurMeanErr[c])
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/makespan"
 	"repro/internal/robustness"
@@ -43,6 +44,24 @@ type Config struct {
 	// overrides GridSize. An invalid spelling is an error, never a
 	// silent fallback.
 	EvalAccuracy string
+
+	// CaseTimeout bounds the wall-clock time of one case attempt;
+	// <= 0 means no per-case deadline. Result-neutral: a case either
+	// completes (same bytes as without the deadline) or fails the
+	// attempt with a timeout, so the timeout never enters cache keys.
+	CaseTimeout time.Duration
+	// MaxRetries is the number of supervised re-attempts after a
+	// case's first failed attempt (panic, timeout, or error). Each
+	// re-attempt is a clean re-run from the case seed, so a retried
+	// case is byte-identical to one that succeeded first try.
+	MaxRetries int
+	// DegradeOnTimeout arms the degradation ladder: when every timed
+	// attempt of a case hit CaseTimeout, one final attempt re-runs at
+	// the next coarser stochastic.EvalAccuracy preset — without the
+	// deadline, delivering a coarser result instead of none. The
+	// degradation is recorded on the result row (CaseResult.Degraded)
+	// and in the RunReport, so outputs stay honest.
+	DegradeOnTimeout bool
 }
 
 // DefaultConfig returns laptop-scale settings: every driver finishes in
@@ -139,6 +158,23 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// degraded steps the config one notch down the accuracy ladder
+// (stochastic.EvalAccuracy.Degrade); ok is false when the spelling is
+// invalid or no coarser preset exists.
+func (c Config) degraded() (Config, stochastic.EvalAccuracy, bool) {
+	acc, err := c.EvalAccuracyValue()
+	if err != nil {
+		return c, acc, false
+	}
+	dacc, ok := acc.Degrade()
+	if !ok {
+		return c, acc, false
+	}
+	c.EvalAccuracy = dacc.String()
+	c.GridSize = dacc.GridSize
+	return c, dacc, true
 }
 
 // schedulesFor scales the per-case schedule count the way the paper

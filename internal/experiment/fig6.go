@@ -39,7 +39,9 @@ func Fig6Run(ctx context.Context, cfg Config, opts RunOptions) (*Fig6Result, err
 // AggregateCases runs any case list and aggregates the per-case
 // Pearson matrices the way Fig. 6 does (element-wise mean and std,
 // NaN cells skipped); custom Sweep grids reuse it to get the same
-// report types as the paper's figure.
+// report types as the paper's figure. Under RunOptions.KeepGoing,
+// permanently failed cases (nil slots, enumerated in opts.Report) are
+// excluded from the aggregation rather than failing it.
 func AggregateCases(ctx context.Context, specs []CaseSpec, cfg Config, opts RunOptions) (*Fig6Result, error) {
 	cases, err := RunCases(ctx, specs, cfg, opts)
 	if err != nil {
@@ -49,6 +51,9 @@ func AggregateCases(ctx context.Context, specs []CaseSpec, cfg Config, opts RunO
 	var mats [][][]float64
 	var relVals []float64
 	for _, cr := range cases {
+		if cr == nil {
+			continue
+		}
 		res.Cases = append(res.Cases, cr)
 		mats = append(mats, cr.Corr)
 		if !math.IsNaN(cr.RelByMakespanVsStd) {

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/resilience"
 	"repro/internal/robustness"
 )
 
@@ -127,6 +128,36 @@ func fixtureFig6() *Fig6Result {
 	}
 }
 
+// fixtureReport covers every failure-report value class: a recovered
+// panic, a degraded delivery, a permanent failure, a quarantined cache
+// entry, and the chaos-injection log.
+func fixtureReport() RunReportData {
+	return RunReportData{
+		CasesTotal: 5, CasesClean: 2,
+		Cases: []CaseReport{
+			{Case: "chaos-a", Attempts: []AttemptReport{
+				{Outcome: "panic", Error: "panic: resilience: injected panic at case/chaos-a/attempt0/eval/3"},
+				{Outcome: "ok"},
+			}},
+			{Case: "chaos-b", Attempts: []AttemptReport{
+				{Outcome: "timeout", Error: "context deadline exceeded"},
+				{Outcome: "timeout", Error: "context deadline exceeded"},
+				{Outcome: "degraded-ok"},
+			}, Degraded: "coarse"},
+			{Case: "chaos-c", Attempts: []AttemptReport{
+				{Outcome: "error", Error: "experiment: case \"chaos-c\": boom"},
+			}, Err: "experiment: case \"chaos-c\" failed after 1 attempt(s) (error): experiment: case \"chaos-c\": boom"},
+		},
+		Quarantines: []QuarantineReport{
+			{Key: "deadbeef", Dest: "cache/quarantine/deadbeef.json"},
+		},
+		Injected: []resilience.Event{
+			{Site: "case/chaos-a/attempt0/eval/3", Kind: "panic"},
+			{Site: "case/chaos-b/attempt0/build", Kind: "delay"},
+		},
+	}
+}
+
 func TestGoldenTextReports(t *testing.T) {
 	renderGolden(t, "case.txt", func(w io.Writer) error {
 		res := fixtureCase()
@@ -175,6 +206,10 @@ func TestGoldenTextReports(t *testing.T) {
 		})
 		return nil
 	})
+	renderGolden(t, "failure_report.txt", func(w io.Writer) error {
+		WriteRunReport(w, fixtureReport())
+		return nil
+	})
 	renderGolden(t, "variableul.txt", func(w io.Writer) error {
 		WriteVariableUL(w, &VariableULResult{
 			ConstCorr: 0.875, VarCorr: 0.5, ULLo: 1, ULHi: 1.8,
@@ -202,6 +237,9 @@ func TestGoldenJSONReports(t *testing.T) {
 	})
 	renderGolden(t, "fig9.json", func(w io.Writer) error {
 		return WriteJSON(w, []Fig9Row{{Name: "wide", Slack: 0, StdDev: 0.5, Makespan: 12.5}})
+	})
+	renderGolden(t, "failure_report.json", func(w io.Writer) error {
+		return WriteJSON(w, fixtureReport())
 	})
 	// NaN correlations (degenerate metric columns) must encode, not
 	// abort the -json run.

@@ -6,10 +6,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"repro/internal/heuristics"
 	"repro/internal/makespan"
 	"repro/internal/platform"
+	"repro/internal/resilience"
 	"repro/internal/robustness"
 	"repro/internal/runner"
 	"repro/internal/schedule"
@@ -35,6 +37,12 @@ type CaseResult struct {
 	// (inverted) relative probabilistic metric divided by the makespan
 	// against the makespan standard deviation.
 	RelByMakespanVsStd float64
+	// Degraded, when non-empty, names the coarser evaluation accuracy
+	// this result was delivered at after every timed attempt at the
+	// configured accuracy hit the case deadline (the supervised
+	// runner's degradation ladder). Empty on every normal result, so
+	// fault-free documents are byte-identical to pre-resilience ones.
+	Degraded string `json:",omitempty"`
 }
 
 // InvertedColumns converts metric vectors into the column orientation
@@ -99,6 +107,9 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 	if err != nil {
 		return nil, err
 	}
+	// Chaos-injection scope: nil outside chaos runs, so the fault
+	// hooks below cost one pointer check per job on the happy path.
+	scope := resilience.ScopeFrom(ctx)
 	// The serial phases run as (single-job) pool batches too, so the
 	// whole case — generation and assembly, not just the fan-out —
 	// stays inside the worker bound even when many cases are in
@@ -109,6 +120,9 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 		scheds []*schedule.Schedule
 	)
 	err = pool.Batch(ctx, 1, func(int) error {
+		if err := scope.Hit("build"); err != nil {
+			return err
+		}
 		var err error
 		scen, err = spec.BuildScenario()
 		if err != nil {
@@ -126,6 +140,11 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 
 	metrics := make([]robustness.Metrics, nSched)
 	err = pool.Batch(ctx, nSched, func(i int) error {
+		if scope != nil {
+			if err := scope.Hit("eval/" + strconv.Itoa(i)); err != nil {
+				return err
+			}
+		}
 		var err error
 		metrics[i], err = evaluateOne(cache, scheds[i], cfg)
 		return err
@@ -146,6 +165,9 @@ func RunCaseOn(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool
 	hres := make([]HeuristicResult, len(hs))
 	err = pool.Batch(ctx, len(hs), func(i int) error {
 		h := hs[i]
+		if err := scope.Hit("heur/" + h.Name); err != nil {
+			return err
+		}
 		hr, err := h.Fn(scen)
 		if err != nil {
 			return fmt.Errorf("experiment: case %q heuristic %s: %w", spec.Name, h.Name, err)

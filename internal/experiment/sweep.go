@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/resilience"
 	"repro/internal/runner"
 	"repro/internal/schedule"
 	"repro/internal/stochastic"
@@ -22,8 +23,23 @@ type RunOptions struct {
 	// filled after, making interrupted sweeps resumable.
 	Cache *runner.Cache
 	// Progress, when non-nil, receives one call per finished case (in
-	// completion order; done counts finished cases).
+	// completion order; done counts finished cases, including
+	// permanently failed ones under KeepGoing).
 	Progress func(done, total int, name string)
+	// Report, when non-nil, accumulates the structured failure summary
+	// of the sweep: per-case attempts, degradations, quarantined cache
+	// entries, injected faults.
+	Report *RunReport
+	// Injector, when non-nil, arms chaos injection: RunCaseOn consults
+	// it at named sites (case/<name>/attempt<k>/{build,eval/<i>,
+	// heur/<h>}). Production runs leave it nil — the happy path then
+	// carries a single nil check per job.
+	Injector *resilience.Injector
+	// KeepGoing makes a case that permanently fails (after every
+	// retry) record its failure and leave a nil result slot instead of
+	// cancelling the sweep — completing as much work as possible under
+	// adverse conditions. The failures are enumerated in Report.
+	KeepGoing bool
 }
 
 // caseCacheVersion tags cache entries; bump it whenever the result
@@ -94,6 +110,16 @@ func CaseCacheKey(spec CaseSpec, cfg Config) (string, error) {
 // any case has work left. Results come back in spec order regardless
 // of completion order, and are byte-identical for every worker count.
 //
+// Execution is supervised: a panicking case fails with a typed error
+// instead of crashing the process, cfg.CaseTimeout bounds each
+// attempt, failed attempts retry up to cfg.MaxRetries times with
+// deterministic jittered backoff, and cfg.DegradeOnTimeout arms the
+// accuracy-degradation ladder. Retried cases re-run from their case
+// seed, so every delivered non-degraded result is byte-identical to a
+// fault-free run. With opts.KeepGoing a permanently failed case
+// yields a nil result slot (recorded in opts.Report) instead of
+// aborting its siblings.
+//
 // Specs are run with exactly the seeds they carry (RunCases and
 // RunCase always agree); ad-hoc sweeps that don't want to
 // hand-number their cases can seed them with WithDerivedSeed first.
@@ -141,11 +167,17 @@ func RunCases(ctx context.Context, specs []CaseSpec, cfg Config, opts RunOptions
 			defer wg.Done()
 			for i := range caseCh {
 				spec := specs[i]
-				res, err := runCaseCached(ctx, spec, cfg, pool, opts.Cache)
+				res, err := runCaseSupervised(ctx, spec, cfg, pool, opts)
 				results[i], errs[i] = res, err
 				if err != nil {
-					cancel() // fail fast: stop sibling cases
-					return
+					if opts.KeepGoing && ctx.Err() == nil {
+						// The failure is recorded in opts.Report; the
+						// sweep completes the remaining cases.
+						errs[i] = nil
+					} else {
+						cancel() // fail fast: stop sibling cases
+						return
+					}
 				}
 				if opts.Progress != nil {
 					progressMu.Lock()
@@ -182,10 +214,102 @@ func RunCases(ctx context.Context, specs []CaseSpec, cfg Config, opts RunOptions
 	return results, nil
 }
 
+// runCaseSupervised is the fault boundary around one case: panic
+// recovery, per-attempt deadlines, retry with deterministic backoff,
+// and the timeout-degradation ladder. Every attempt is a clean re-run
+// from the case seed through runCaseCached, so whichever attempt
+// succeeds delivers exactly the bytes a fault-free run would.
+func runCaseSupervised(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool, opts RunOptions) (*CaseResult, error) {
+	attempts := 1
+	if cfg.MaxRetries > 0 {
+		attempts += cfg.MaxRetries
+	}
+	policy := resilience.DefaultRetryPolicy(cfg.MaxRetries)
+	rep := CaseReport{Case: spec.Name}
+	var lastErr error
+	timeouts := 0
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := resilience.Sleep(ctx, policy.Backoff(attempt, spec.Seed, spec.Name)); err != nil {
+				return nil, err // sweep cancelled while backing off
+			}
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if cfg.CaseTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, cfg.CaseTimeout)
+		}
+		actx = resilience.WithScope(actx, opts.Injector,
+			fmt.Sprintf("case/%s/attempt%d/", spec.Name, attempt))
+		var res *CaseResult
+		err := resilience.Protect(func() error {
+			var err error
+			res, err = runCaseCached(actx, spec, cfg, pool, opts.Cache)
+			return err
+		})
+		cancel()
+		if err == nil {
+			rep.Attempts = append(rep.Attempts, AttemptReport{Outcome: "ok"})
+			opts.Report.recordCase(rep)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The sweep itself was cancelled or timed out above us: not
+			// a case fault, nothing to retry or record.
+			return nil, err
+		}
+		kind := resilience.ClassifyKind(err)
+		if kind == "timeout" {
+			timeouts++
+		}
+		rep.Attempts = append(rep.Attempts, AttemptReport{Outcome: kind, Error: err.Error()})
+		lastErr = err
+	}
+
+	// Degradation ladder: every timed attempt hit the deadline, so a
+	// finer evaluation will not fit the budget either — deliver the
+	// next coarser preset (deadline off: this is the last resort, and
+	// the coarser run is the one sized to succeed) instead of nothing.
+	if timeouts == attempts && cfg.DegradeOnTimeout {
+		if dcfg, dacc, ok := cfg.degraded(); ok {
+			dctx := resilience.WithScope(ctx, opts.Injector,
+				fmt.Sprintf("case/%s/degraded/", spec.Name))
+			var res *CaseResult
+			err := resilience.Protect(func() error {
+				var err error
+				res, err = runCaseCached(dctx, spec, dcfg, pool, opts.Cache)
+				return err
+			})
+			if err == nil {
+				// Marked after caching: the cache entry under the
+				// degraded config's own key stays a clean result any
+				// explicitly-coarse run may reuse.
+				res.Degraded = dacc.String()
+				rep.Attempts = append(rep.Attempts, AttemptReport{Outcome: "degraded-ok"})
+				rep.Degraded = dacc.String()
+				opts.Report.recordCase(rep)
+				return res, nil
+			}
+			rep.Attempts = append(rep.Attempts, AttemptReport{
+				Outcome: resilience.ClassifyKind(err), Error: err.Error()})
+			lastErr = err
+		}
+	}
+
+	ce := &resilience.CaseError{
+		Case: spec.Name, Attempts: len(rep.Attempts),
+		Kind: resilience.ClassifyKind(lastErr), Err: lastErr,
+	}
+	rep.Err = ce.Error()
+	opts.Report.recordCase(rep)
+	return nil, ce
+}
+
 // runCaseCached wraps RunCaseOn with the optional disk cache: hits
-// skip the computation entirely, misses are stored after computing. A
-// corrupt entry (e.g. a partial write from a crashed kernel) is
-// recomputed and overwritten rather than trusted.
+// skip the computation entirely, misses are stored after computing.
+// Integrity-corrupt entries are quarantined inside Cache.Get; an
+// entry that verifies but no longer decodes (a legacy pre-checksum
+// entry gone bad, a format drift) is quarantined here — either way
+// the case is recomputed, never aborted.
 func runCaseCached(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.Pool, cache *runner.Cache) (*CaseResult, error) {
 	var key string
 	if cache != nil {
@@ -201,6 +325,7 @@ func runCaseCached(ctx context.Context, spec CaseSpec, cfg Config, pool *runner.
 			if err := json.Unmarshal(data, &res); err == nil {
 				return &res, nil
 			}
+			cache.Quarantine(key)
 		}
 	}
 	res, err := RunCaseOn(ctx, spec, cfg, pool)

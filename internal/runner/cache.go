@@ -1,12 +1,14 @@
 package runner
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 )
 
@@ -15,8 +17,64 @@ import (
 // under its key, and a rerun of the same sweep loads the stored bytes
 // instead of recomputing. Writes are atomic (temp file + rename), so
 // an interrupted run never leaves a truncated entry behind.
+//
+// Entries carry an integrity trailer: Put appends a sha256 digest of
+// the payload, Get verifies it and strips it. An entry whose digest no
+// longer matches (bit rot, a torn write from a crashed kernel, a
+// truncating copy) is moved to <dir>/quarantine/ and reported as a
+// miss, so a resume recomputes the case instead of decoding garbage.
+// Entries written before the trailer existed carry no digest and are
+// served as-is.
 type Cache struct {
 	dir string
+
+	// hookMu guards the hooks below against concurrent readers that
+	// quarantine simultaneously.
+	hookMu sync.Mutex
+	// onQuarantine, when set, observes every quarantined entry.
+	onQuarantine func(key, dest string)
+	// corrupt, when set, transforms the sealed entry bytes before they
+	// reach disk. Fault injection only (chaos tests, -chaos-corrupt).
+	corrupt func(key string, data []byte) []byte
+}
+
+// sumMarker introduces the integrity trailer: a line appended after
+// the payload holding the hex sha256 of everything before it. JSON
+// payloads never contain a raw newline, so the last marker occurrence
+// always belongs to the trailer, not the data.
+const sumMarker = "\n//repro:sha256:"
+
+// sealEntry appends the integrity trailer to a payload.
+func sealEntry(data []byte) []byte {
+	sum := sha256.Sum256(data)
+	out := make([]byte, 0, len(data)+len(sumMarker)+sha256.Size*2+1)
+	out = append(out, data...)
+	out = append(out, sumMarker...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	return append(out, '\n')
+}
+
+// openEntry splits a stored entry into payload and verdict: ok=false
+// means the trailer is present but does not verify — the file is
+// corrupt. Files without a trailer are legacy entries, returned as-is.
+func openEntry(raw []byte) (data []byte, ok bool) {
+	idx := bytes.LastIndex(raw, []byte(sumMarker))
+	if idx < 0 {
+		return raw, true
+	}
+	tail := bytes.TrimSuffix(raw[idx+len(sumMarker):], []byte("\n"))
+	if len(tail) != sha256.Size*2 {
+		return nil, false
+	}
+	want, err := hex.DecodeString(string(tail))
+	if err != nil {
+		return nil, false
+	}
+	sum := sha256.Sum256(raw[:idx])
+	if !bytes.Equal(sum[:], want) {
+		return nil, false
+	}
+	return raw[:idx], true
 }
 
 // OpenCache opens (creating if necessary) a cache rooted at dir.
@@ -45,32 +103,93 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
+// QuarantineDir returns the directory corrupt entries are moved to.
+func (c *Cache) QuarantineDir() string { return filepath.Join(c.dir, "quarantine") }
+
+// OnQuarantine registers fn to observe every entry the cache
+// quarantines (corrupt digest, undecodable payload). fn may be called
+// from concurrent readers; the cache serializes the calls.
+func (c *Cache) OnQuarantine(fn func(key, dest string)) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	c.onQuarantine = fn
+}
+
+// SetCorruptor installs a fault-injection transform applied to the
+// sealed entry bytes on every Put. Chaos testing only — it exists so
+// injected disk corruption exercises exactly the bytes a real torn
+// write would.
+func (c *Cache) SetCorruptor(fn func(key string, data []byte) []byte) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	c.corrupt = fn
+}
+
 // path maps a key to its file. Keys are hex digests, so they are safe
 // path components as-is.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".json")
 }
 
-// Get returns the stored bytes for key, with ok = false when the entry
-// does not exist.
+// Get returns the stored payload for key, with ok = false when the
+// entry does not exist or failed integrity verification (in which case
+// it has been quarantined — never silently deleted — and the caller
+// should recompute).
 func (c *Cache) Get(key string) (data []byte, ok bool, err error) {
-	data, err = os.ReadFile(c.path(key))
+	raw, err := os.ReadFile(c.path(key))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("runner: cache get: %w", err)
 	}
+	data, ok = openEntry(raw)
+	if !ok {
+		c.Quarantine(key)
+		return nil, false, nil
+	}
 	return data, true, nil
 }
 
-// Put stores data under key atomically.
+// Quarantine moves the entry for key into the quarantine directory,
+// preserving the corrupt bytes for post-mortem instead of deleting
+// them, and returns the destination path. Concurrent readers may race
+// to quarantine the same entry; exactly one wins the rename and fires
+// the OnQuarantine hook, the others are no-ops.
+func (c *Cache) Quarantine(key string) (dest string, err error) {
+	qdir := c.QuarantineDir()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("runner: quarantine: %w", err)
+	}
+	dest = filepath.Join(qdir, key+".json")
+	if err := os.Rename(c.path(key), dest); err != nil {
+		// A concurrent reader already moved it (or it never existed);
+		// either way the poisoned entry is out of the lookup path.
+		return "", nil
+	}
+	c.hookMu.Lock()
+	fn := c.onQuarantine
+	if fn != nil {
+		fn(key, dest)
+	}
+	c.hookMu.Unlock()
+	return dest, nil
+}
+
+// Put stores data under key atomically, sealed with an integrity
+// trailer.
 func (c *Cache) Put(key string, data []byte) error {
+	payload := sealEntry(data)
+	c.hookMu.Lock()
+	if c.corrupt != nil {
+		payload = c.corrupt(key, payload)
+	}
+	c.hookMu.Unlock()
 	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("runner: cache put: %w", err)
 	}
-	_, werr := tmp.Write(data)
+	_, werr := tmp.Write(payload)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -86,7 +205,8 @@ func (c *Cache) Put(key string, data []byte) error {
 	return nil
 }
 
-// Len reports the number of entries currently stored.
+// Len reports the number of entries currently stored (quarantined
+// entries excluded).
 func (c *Cache) Len() (int, error) {
 	matches, err := filepath.Glob(filepath.Join(c.dir, "*.json"))
 	if err != nil {

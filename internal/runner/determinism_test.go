@@ -74,6 +74,9 @@ func TestFig6IdenticalAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full Fig6 worker-count sweep is slow")
 	}
+	if raceEnabled {
+		t.Skip("two full Fig6 sweeps exceed the race detector's budget; the weekly full tier runs this without -race")
+	}
 	run := func(workers int) []byte {
 		cfg := detConfig()
 		cfg.Workers = workers
@@ -125,6 +128,56 @@ func TestCacheResumedRunMatchesUninterrupted(t *testing.T) {
 	again := runWithWorkers(t, 4, experiment.RunOptions{Cache: cache})
 	if !bytes.Equal(uncached, again) {
 		t.Error("fully cached sweep differs from the uninterrupted one")
+	}
+}
+
+// A sweep killed mid-run (context cancelled from the progress
+// callback, as a crash or Ctrl-C would) must have cached the cases it
+// finished, and a resume from that cache must produce byte-identical
+// final output.
+func TestCrashedSweepResumesByteIdentical(t *testing.T) {
+	uncached := runWithWorkers(t, 4, experiment.RunOptions{})
+
+	cache, err := runner.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := detSpecs()
+
+	// Kill the sweep after the first finished case. One worker keeps
+	// the crash point sharp: at most one more case can slip through the
+	// admission race before cancellation lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := detConfig()
+	cfg.Workers = 1
+	_, err = experiment.RunCases(ctx, specs, cfg, experiment.RunOptions{
+		Cache: cache,
+		Progress: func(done, total int, name string) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("killed sweep reported success")
+	}
+	n, err := cache.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n >= len(specs) {
+		t.Fatalf("crash left %d cached cases, want a strict non-empty prefix of %d", n, len(specs))
+	}
+
+	// The resume loads the finished prefix and computes the rest —
+	// exactly the uninterrupted bytes, at a different worker count.
+	resumed := runWithWorkers(t, 4, experiment.RunOptions{Cache: cache})
+	if !bytes.Equal(uncached, resumed) {
+		t.Error("crash-resumed sweep differs from the uninterrupted one")
+	}
+	if n, _ := cache.Len(); n != len(specs) {
+		t.Errorf("cache holds %d entries after the resume, want %d", n, len(specs))
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"repro/internal/resilience"
 )
 
 // Pool is a bounded worker pool. A single Pool is meant to be shared
@@ -40,11 +42,22 @@ func NewPool(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for job := range p.jobs {
-				job()
+				runSupervised(job)
 			}
 		}()
 	}
 	return p
+}
+
+// runSupervised executes one job, absorbing a panic so the worker
+// goroutine — and with it the pool's ability to make progress — always
+// survives. Batch jobs convert their own panics into typed errors
+// before this last-ditch recovery is reached; it exists for raw Submit
+// jobs, whose panic would otherwise kill the worker and deadlock
+// Close.
+func runSupervised(job func()) {
+	defer func() { _ = recover() }()
+	job()
 }
 
 // Workers returns the pool's worker count.
@@ -77,11 +90,13 @@ func (p *Pool) Close() {
 
 // Batch runs fn(0) … fn(n-1) on the pool and waits for all of them.
 // Submission stops early when ctx is cancelled or any job fails;
-// already-submitted jobs always drain. The returned error is the
-// recorded failure with the lowest index — deterministic, because
-// submission is in index order, so every index below the failure that
-// triggered the abort was submitted and ran. Pure cancellation
-// returns ctx.Err().
+// already-submitted jobs always drain. Jobs are supervised: a
+// panicking fn fails its batch with a typed *resilience.PanicError
+// (panic value plus stack) instead of crashing the process. The
+// returned error is the recorded failure with the lowest index —
+// deterministic, because submission is in index order, so every index
+// below the failure that triggered the abort was submitted and ran.
+// Pure cancellation returns ctx.Err().
 func (p *Pool) Batch(ctx context.Context, n int, fn func(i int) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -93,7 +108,7 @@ func (p *Pool) Batch(ctx context.Context, n int, fn func(i int) error) error {
 		wg.Add(1)
 		if err := p.Submit(ctx, func() {
 			defer wg.Done()
-			if errs[i] = fn(i); errs[i] != nil {
+			if errs[i] = resilience.Protect(func() error { return fn(i) }); errs[i] != nil {
 				cancel() // don't submit jobs whose batch already failed
 			}
 		}); err != nil {

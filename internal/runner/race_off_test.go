@@ -1,0 +1,5 @@
+//go:build !race
+
+package runner_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package runner_test
+
+// raceEnabled mirrors the race detector's build tag, so end-to-end
+// sweeps too heavy for its ~10-20× slowdown can budget themselves.
+const raceEnabled = true

@@ -1,0 +1,81 @@
+package runner_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/resilience"
+	"repro/internal/runner"
+)
+
+// A panicking batch job must surface as a typed *resilience.PanicError
+// — deterministically the lowest-index failure — and leave the pool
+// fully operational (run under -race in CI).
+func TestBatchConvertsPanicIntoTypedError(t *testing.T) {
+	pool := runner.NewPool(4)
+	defer pool.Close()
+
+	var ran int64
+	err := pool.Batch(context.Background(), 50, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			panic("job 3 exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking batch returned nil")
+	}
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("batch error %T %v, want *resilience.PanicError", err, err)
+	}
+	if pe.Value != "job 3 exploded" {
+		t.Errorf("panic value %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+
+	// The pool survives: a follow-up batch runs to completion.
+	var after int64
+	if err := pool.Batch(context.Background(), 20, func(i int) error {
+		atomic.AddInt64(&after, 1)
+		return nil
+	}); err != nil {
+		t.Fatalf("follow-up batch failed: %v", err)
+	}
+	if after != 20 {
+		t.Errorf("follow-up batch ran %d/20 jobs", after)
+	}
+}
+
+// Every worker panicking at once must not deadlock or kill the pool.
+func TestBatchAllJobsPanic(t *testing.T) {
+	pool := runner.NewPool(4)
+	defer pool.Close()
+	err := pool.Batch(context.Background(), 8, func(i int) error { panic(i) })
+	if !resilience.IsPanic(err) {
+		t.Fatalf("all-panic batch returned %v", err)
+	}
+	if err := pool.Batch(context.Background(), 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("pool dead after panics: %v", err)
+	}
+}
+
+// A raw Submit job that panics must not kill its worker: Close would
+// otherwise wait forever on the dead goroutine.
+func TestSubmitPanicKeepsWorkerAlive(t *testing.T) {
+	pool := runner.NewPool(1)
+	done := make(chan struct{})
+	if err := pool.Submit(context.Background(), func() { panic("raw submit") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Submit(context.Background(), func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done // the single worker survived the first job's panic
+	pool.Close()
+}
