@@ -1,0 +1,60 @@
+// Command reprovet statically enforces the reproduction's correctness
+// invariants: deterministic iteration (mapiter), seed-derived
+// randomness only (globalrand), complete cache keys (cachekey), and no
+// accidental floating-point equality (floateq).
+//
+// It runs two ways:
+//
+//	reprovet ./...                          # standalone, with allow audit
+//	go vet -vettool=$(which reprovet) ./... # as a vet tool, per keystroke cost
+//
+// Both modes honor //reprovet:allow <analyzer> <reason> directives;
+// the standalone mode prints the audit of every allowed site, so
+// exemptions stay visible instead of rotting in comments. Exit status
+// is non-zero when any unallowed finding exists.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	analyzers := analysis.DefaultAnalyzers()
+	// The vet tool protocol (-flags, -V=full, or a single .cfg
+	// argument) exits internally when it matches.
+	analysis.RunUnitchecker(analyzers, os.Args[1:])
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reprovet [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nAlso runnable as: go vet -vettool=$(which reprovet) ./...\n")
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var results []analysis.PackageResult
+	for _, pkg := range pkgs {
+		res, err := analysis.Check(analyzers, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+	if analysis.PrintResults(os.Stdout, results) {
+		os.Exit(1)
+	}
+}

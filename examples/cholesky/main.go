@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -12,7 +13,10 @@ import (
 )
 
 func main() {
-	scen, err := repro.NewCholeskyScenario(3, 3, 1.01, 3)
+	seed := flag.Int64("seed", 3, "base RNG seed; the random-schedule population derives from it")
+	flag.Parse()
+
+	scen, err := repro.NewCholeskyScenario(3, 3, 1.01, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +52,7 @@ func main() {
 	const nRandom = 200
 	var randMk, randStd []float64
 	for i := 0; i < nRandom; i++ {
-		s := repro.RandomSchedule(scen, int64(1000+i))
+		s := repro.RandomSchedule(scen, *seed+int64(1000+i))
 		m, err := repro.ComputeMetrics(scen, s)
 		if err != nil {
 			log.Fatal(err)

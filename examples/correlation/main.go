@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"log"
 	"os"
 
@@ -11,7 +12,11 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", experiment.DefaultConfig().Seed, "base RNG seed for the drawn schedules")
+	flag.Parse()
+
 	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
 	cfg.Schedules = 300
 	spec := experiment.Fig3Case(1) // Cholesky, 10 tasks, 3 procs, UL=1.01
 	res, err := experiment.RunCase(spec, cfg)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,7 +13,11 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", experiment.DefaultConfig().Seed, "base RNG seed")
+	flag.Parse()
+
 	cfg := experiment.DefaultConfig()
+	cfg.Seed = *seed
 	const n = 8 // join graph with n+1 tasks
 	rows, err := experiment.Fig9(cfg, n)
 	if err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,16 +14,19 @@ import (
 )
 
 func main() {
-	scen, err := repro.NewGaussElimScenario(8, 4, 1.1, 11)
+	seed := flag.Int64("seed", 11, "base RNG seed; the schedule and Monte-Carlo streams derive from it")
+	flag.Parse()
+
+	scen, err := repro.NewGaussElimScenario(8, 4, 1.1, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := repro.RandomSchedule(scen, 5)
+	s := repro.RandomSchedule(scen, *seed+1)
 	fmt.Printf("Gaussian elimination: %d tasks on %d processors, UL=%.2f, random schedule\n\n",
 		scen.G.N(), scen.P.M, scen.UL)
 
 	// Ground truth: 100 000 realizations, as in the paper.
-	emp, err := repro.MonteCarlo(scen, s, 100000, 13)
+	emp, err := repro.MonteCarlo(scen, s, 100000, *seed+2)
 	if err != nil {
 		log.Fatal(err)
 	}

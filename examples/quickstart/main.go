@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,10 +12,13 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 42, "base RNG seed; every random stream below derives from it")
+	flag.Parse()
+
 	// A 10-task Cholesky DAG (3×3 tiles) on 3 heterogeneous
 	// processors; every duration is a Beta(2,5) random variable
 	// stretched over [min, 1.1·min].
-	scen, err := repro.NewCholeskyScenario(3, 3, 1.1, 42)
+	scen, err := repro.NewCholeskyScenario(3, 3, 1.1, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +50,7 @@ func main() {
 
 	// Cross-check the analytic distribution against 20 000 Monte-Carlo
 	// realizations of the schedule.
-	emp, err := repro.MonteCarlo(scen, res.Schedule, 20000, 7)
+	emp, err := repro.MonteCarlo(scen, res.Schedule, 20000, *seed+1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func main() {
 
 	// Compare with a random schedule: HEFT should win on makespan and
 	// usually on robustness too (§VII of the paper).
-	rnd := repro.RandomSchedule(scen, 99)
+	rnd := repro.RandomSchedule(scen, *seed+2)
 	rm, err := repro.ComputeMetrics(scen, rnd)
 	if err != nil {
 		log.Fatal(err)

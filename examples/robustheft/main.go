@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,7 +14,10 @@ import (
 )
 
 func main() {
-	base, err := repro.NewRandomScenario(30, 4, 1.1, 17)
+	seed := flag.Int64("seed", 17, "base RNG seed; the Monte-Carlo validation stream derives from it")
+	flag.Parse()
+
+	base, err := repro.NewRandomScenario(30, 4, 1.1, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +42,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		emp, err := repro.MonteCarlo(scen, res.Schedule, 50000, 3)
+		emp, err := repro.MonteCarlo(scen, res.Schedule, 50000, *seed+1)
 		if err != nil {
 			log.Fatal(err)
 		}

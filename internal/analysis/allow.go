@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces an allow directive:
+//
+//	//reprovet:allow <analyzer> <reason>
+//
+// A directive suppresses findings of the named analyzer on its own
+// line (trailing comment) or on the line immediately below (standalone
+// comment above the flagged statement). The reason is mandatory —
+// every exemption must be auditable — and every applied directive is
+// counted and reported in reprovet's summary. A directive that
+// suppresses nothing, names an unknown analyzer, or omits its reason
+// is itself a finding: stale or sloppy exemptions never accumulate
+// silently.
+const allowPrefix = "//reprovet:allow"
+
+// An allowDirective is one parsed //reprovet:allow comment.
+type allowDirective struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	used     bool
+}
+
+// An AllowedSite records one finding suppressed by a directive; the
+// set of them is the audit trail reprovet prints with its summary.
+type AllowedSite struct {
+	Pos      token.Position // position of the suppressed finding
+	Analyzer string
+	Reason   string
+}
+
+// collectAllows parses the //reprovet:allow directives of the given
+// files. Malformed directives are reported as diagnostics attributed
+// to the pseudo-analyzer "reprovet" (they are never suppressible).
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allowDirective, []Diagnostic) {
+	var dirs []*allowDirective
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := fset.Position(c.Pos())
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // some other reprovet:allowX token, not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "reprovet",
+						Message: "malformed //reprovet:allow directive: missing analyzer name and reason"})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "reprovet",
+						Message: "//reprovet:allow names unknown analyzer " + strconv.Quote(name)})
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "reprovet",
+						Message: "//reprovet:allow " + name + " is missing its reason: every exemption must say why"})
+					continue
+				}
+				reason := strings.TrimSpace(rest[strings.Index(rest, name)+len(name):])
+				dirs = append(dirs, &allowDirective{Pos: pos, Analyzer: name, Reason: reason})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// applyAllows filters diags through the directives: a finding whose
+// (file, line) sits on a directive's line or the line immediately
+// after it, for the directive's analyzer, is moved to the allowed
+// audit. Directives that matched nothing become findings themselves.
+func applyAllows(diags []Diagnostic, dirs []*allowDirective) (kept []Diagnostic, allowed []AllowedSite) {
+	for _, d := range diags {
+		var match *allowDirective
+		for _, dir := range dirs {
+			if dir.Analyzer != d.Analyzer || dir.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == dir.Pos.Line || d.Pos.Line == dir.Pos.Line+1 {
+				match = dir
+				break
+			}
+		}
+		if match != nil {
+			match.used = true
+			allowed = append(allowed, AllowedSite{Pos: d.Pos, Analyzer: d.Analyzer, Reason: match.Reason})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			kept = append(kept, Diagnostic{Pos: dir.Pos, Analyzer: "reprovet",
+				Message: "unused //reprovet:allow " + dir.Analyzer + " directive: it suppresses nothing on this or the next line"})
+		}
+	}
+	return kept, allowed
+}

@@ -1,0 +1,76 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestAllowDirectives pins the directive's suppression and audit
+// contract: a directive suppresses exactly one finding (on its own
+// line or the line below — the golden file's want comment proves the
+// next draw down stays flagged), and every suppressed site lands in
+// the audit with its reason.
+func TestAllowDirectives(t *testing.T) {
+	res := analysistest.Run(t, "", filepath.Join("testdata", "src", "allowdir"), analysis.DefaultAnalyzers())
+	if len(res.Allowed) != 3 {
+		t.Fatalf("allowed sites = %d, want 3 (one per directive)", len(res.Allowed))
+	}
+	reasons := map[string]bool{}
+	for _, a := range res.Allowed {
+		if a.Analyzer != "globalrand" {
+			t.Errorf("allowed site %s attributes analyzer %q, want globalrand", a.Pos, a.Analyzer)
+		}
+		if !strings.HasPrefix(a.Reason, "golden:") {
+			t.Errorf("allowed site %s lost its reason: %q", a.Pos, a.Reason)
+		}
+		reasons[a.Reason] = true
+	}
+	if len(reasons) != 3 {
+		t.Errorf("audit reasons = %v, want the three distinct golden reasons", reasons)
+	}
+}
+
+// TestAllowDirectiveErrors checks that malformed, unknown-analyzer,
+// and unused directives are findings themselves, and that a rejected
+// directive suppresses nothing.
+func TestAllowDirectiveErrors(t *testing.T) {
+	lp, err := analysis.LoadDir("", filepath.Join("testdata", "src", "allowbad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Check(analysis.DefaultAnalyzers(), lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Allowed) != 0 {
+		t.Errorf("allowed sites = %d, want 0: rejected directives must not suppress", len(res.Allowed))
+	}
+	wantSubstrings := []string{
+		"missing analyzer name and reason", // bare //reprovet:allow
+		`unknown analyzer "nosuchcheck"`,   // unknown name
+		"missing its reason",               // name but no reason
+		"unused //reprovet:allow mapiter",  // suppresses nothing
+		"math/rand.Float64 draws",          // unsuppressed under missing reason
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range res.Findings {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding contains %q; findings: %v", want, res.Findings)
+		}
+	}
+	// missing-reason + bare + unknown + unused directives, plus the two
+	// rand draws the rejected directives fail to suppress.
+	if len(res.Findings) != 6 {
+		t.Errorf("findings = %d, want 6: %v", len(res.Findings), res.Findings)
+	}
+}

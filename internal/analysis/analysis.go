@@ -1,0 +1,109 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) plus the four reprovet
+// analyzers that enforce the reproduction's correctness invariants —
+// deterministic iteration (mapiter), seed-derived randomness only
+// (globalrand), complete cache keys (cachekey), and no accidental
+// floating-point equality (floateq).
+//
+// The framework exists because the build environment pins the module to
+// the standard library: packages are type-checked with go/types against
+// compiler export data obtained from `go list -export` (see load.go),
+// and cmd/reprovet speaks the `go vet -vettool` unitchecker protocol
+// directly (see unitchecker.go). The analyzer API deliberately mirrors
+// x/tools so the suite could migrate onto it wholesale if the
+// dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reprovet:allow directives. It must be a single lower-case word.
+	Name string
+	// Doc is the one-paragraph description printed by reprovet's help.
+	Doc string
+	// Run applies the analyzer to one package and reports findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed non-test files of the package
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order every reprovet output mode uses (the suite practices the
+// determinism it preaches).
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// isTestFile reports whether the file at path is a _test.go file. The
+// go vet driver hands the tool test variants whose GoFiles include test
+// sources; reprovet's invariants are production-code invariants, so
+// every analyzer skips them uniformly.
+func isTestFile(path string) bool {
+	return strings.HasSuffix(path, "_test.go")
+}
+
+// nonTestFiles returns the files of the pass that are not test files.
+func (p *Pass) nonTestFiles() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		if !isTestFile(p.Fset.Position(f.Package).Filename) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+// Package analysistest verifies reprovet analyzers against golden
+// packages annotated with `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's
+// hand-rolled driver. A golden package lives under
+// internal/analysis/testdata/src/<name>; every diagnostic the suite
+// reports there must match a want regexp on its own line, and every
+// want regexp must be matched by a diagnostic — so the goldens pin
+// both that analyzers fire and that they stay quiet.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches the body of a `// want` comment.
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// literalRe matches one Go string literal — raw or interpreted —
+// inside a want comment body, so a single comment can carry several
+// expectations: // want "first" "second".
+var literalRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// An expectation is one want regexp pinned to a file and line.
+type expectation struct {
+	re      *regexp.Regexp
+	text    string
+	file    string
+	line    int
+	matched bool
+}
+
+// Run checks the golden package in dir with the given analyzers and
+// reports mismatches through t. It returns the PackageResult so
+// callers can additionally assert on the //reprovet:allow audit
+// (allowed-site counts and reasons).
+func Run(t *testing.T, moduleDir, dir string, analyzers []*analysis.Analyzer) analysis.PackageResult {
+	t.Helper()
+	lp, err := analysis.LoadDir(moduleDir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Check(analyzers, lp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, lp)
+	for _, d := range res.Findings {
+		if !consume(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("unexpected finding at %s: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.text)
+		}
+	}
+	return res
+}
+
+// collectWants extracts the expectations from the golden package's
+// comments.
+func collectWants(t *testing.T, lp *analysis.LoadedPackage) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := lp.Fset.Position(c.Pos())
+				lits := literalRe.FindAllString(m[1], -1)
+				if len(lits) == 0 {
+					t.Errorf("%s: want comment carries no string literal", pos)
+					continue
+				}
+				for _, lit := range lits {
+					text, err := unquote(lit)
+					if err != nil {
+						t.Errorf("%s: bad want literal %s: %v", pos, lit, err)
+						continue
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+						continue
+					}
+					wants = append(wants, &expectation{re: re, text: text, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// consume marks the first unmatched expectation on (file, line) whose
+// regexp matches msg, reporting whether one existed.
+func consume(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unquote decodes a raw or interpreted Go string literal.
+func unquote(lit string) (string, error) {
+	if strings.HasPrefix(lit, "`") {
+		return strings.Trim(lit, "`"), nil
+	}
+	return strconv.Unquote(lit)
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// DefaultAnalyzers returns the reprovet suite in stable order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{CacheKey, FloatEq, GlobalRand, MapIter}
+}

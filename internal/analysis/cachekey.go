@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// cacheKeyPrefix marks a function as the cache-key builder for a
+// struct type of its package:
+//
+//	//reprovet:cachekey <TypeName> [-exempt F1,F2,...]
+//
+// placed in the function's doc comment. For each marked type, every
+// exported field must either flow into the key inside the function
+// (read directly, read transitively through same-package calls and
+// methods invoked on the value, or passed wholesale to a hashing call
+// in another package) or appear in the -exempt list. The analyzer
+// also rejects stale exemption lists: an exempted field that IS read
+// by the key function, or an exempt name that is not a field, is a
+// finding. Net effect: adding a result-affecting knob to the struct
+// without extending the key (or consciously exempting it) fails the
+// build instead of silently serving stale cache entries — the class
+// of bug behind PR 3's iota cache keys and PR 5's size-seed
+// collisions.
+const cacheKeyPrefix = "//reprovet:cachekey"
+
+// CacheKey enforces cache-key completeness for types named in
+// //reprovet:cachekey directives.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "cross-checks that every exported field of a //reprovet:cachekey type is hashed or exempted",
+	Run:  runCacheKey,
+}
+
+// cachekeyDirective is one parsed directive on a key function.
+type cachekeyDirective struct {
+	TypeName string
+	Exempt   []string
+}
+
+func runCacheKey(pass *Pass) error {
+	decls := packageFuncDecls(pass)
+	for _, f := range pass.nonTestFiles() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if !strings.HasPrefix(c.Text, cacheKeyPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, cacheKeyPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue
+				}
+				dir, err := parseCachekeyDirective(rest)
+				if err != nil {
+					pass.Reportf(c.Pos(), "malformed %s directive: %v", cacheKeyPrefix, err)
+					continue
+				}
+				checkCacheKeyFunc(pass, decls, fd, dir)
+			}
+		}
+	}
+	return nil
+}
+
+func parseCachekeyDirective(rest string) (cachekeyDirective, error) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return cachekeyDirective{}, fmt.Errorf("missing type name")
+	}
+	dir := cachekeyDirective{TypeName: fields[0]}
+	switch {
+	case len(fields) == 1:
+	case len(fields) == 3 && fields[1] == "-exempt":
+		dir.Exempt = strings.Split(fields[2], ",")
+	default:
+		return cachekeyDirective{}, fmt.Errorf("want %q", "<TypeName> [-exempt F1,F2,...]")
+	}
+	return dir, nil
+}
+
+// checkCacheKeyFunc verifies field coverage of one directive on one
+// key function.
+func checkCacheKeyFunc(pass *Pass, decls map[types.Object]*ast.FuncDecl, fd *ast.FuncDecl, dir cachekeyDirective) {
+	target, named := cachekeyParam(pass, fd, dir.TypeName)
+	if target == nil {
+		pass.Reportf(fd.Pos(), "%s %s: no parameter of %s has type %s", cacheKeyPrefix, dir.TypeName, fd.Name.Name, dir.TypeName)
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(fd.Pos(), "%s %s: %s is not a struct type", cacheKeyPrefix, dir.TypeName, dir.TypeName)
+		return
+	}
+	cov := &coverage{covered: map[string]bool{}}
+	visited := map[visitKey]bool{}
+	fnObj := pass.TypesInfo.Defs[fd.Name]
+	coverUses(pass, decls, fd, fnObj, target, cov, visited)
+
+	exempt := map[string]bool{}
+	for _, e := range dir.Exempt {
+		exempt[e] = true
+	}
+	fieldSet := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		fieldSet[fld.Name()] = true
+		if !fld.Exported() {
+			continue
+		}
+		switch {
+		case exempt[fld.Name()] && (cov.covered[fld.Name()] && !cov.full):
+			// Read by the key function yet listed as exempt: the
+			// exemption is stale and hides future drift.
+			pass.Reportf(fd.Pos(), "%s: exempted field %s.%s is read by the key function; drop it from -exempt", cacheKeyPrefix, dir.TypeName, fld.Name())
+		case exempt[fld.Name()]:
+		case cov.full || cov.covered[fld.Name()]:
+		default:
+			pass.Reportf(fd.Pos(), "%s: exported field %s.%s is not hashed into the cache key and not exempted; a config knob missing from the key serves stale cache entries", cacheKeyPrefix, dir.TypeName, fld.Name())
+		}
+	}
+	names := make([]string, 0, len(exempt))
+	for n := range exempt {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !fieldSet[n] {
+			pass.Reportf(fd.Pos(), "%s: -exempt names unknown field %s.%s", cacheKeyPrefix, dir.TypeName, n)
+		}
+	}
+}
+
+// cachekeyParam finds the parameter (or receiver) of fd whose type is
+// the package-local named type typeName, possibly behind a pointer.
+func cachekeyParam(pass *Pass, fd *ast.FuncDecl, typeName string) (types.Object, *types.Named) {
+	fields := []*ast.Field{}
+	if fd.Recv != nil {
+		fields = append(fields, fd.Recv.List...)
+	}
+	if fd.Type.Params != nil {
+		fields = append(fields, fd.Type.Params.List...)
+	}
+	for _, f := range fields {
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() != pass.Pkg || named.Obj().Name() != typeName {
+				continue
+			}
+			return obj, named
+		}
+	}
+	return nil, nil
+}
+
+// coverage accumulates what the key function reads of the target
+// value: individual field names, or full (the whole value flowed into
+// a hash/encoder, covering every field at once).
+type coverage struct {
+	covered map[string]bool
+	full    bool
+}
+
+// visitKey bounds the transitive walk: one (function, tracked value)
+// pair is analyzed once.
+type visitKey struct {
+	fn     types.Object
+	target types.Object
+}
+
+// coverUses walks fn's body recording reads of target: selector reads
+// cover single fields; calls to same-package functions and methods
+// propagate the tracking into the callee; any other whole-value use
+// (an argument to another package's call — runner.Key, json.Marshal —
+// an assignment, a return) counts as full coverage, matching the
+// hash-the-whole-struct idiom.
+func coverUses(pass *Pass, decls map[types.Object]*ast.FuncDecl, fd *ast.FuncDecl, fnObj, target types.Object, cov *coverage, visited map[visitKey]bool) {
+	if fd == nil || fd.Body == nil || target == nil {
+		cov.full = true // untrackable: assume covered rather than spiral
+		return
+	}
+	key := visitKey{fn: fnObj, target: target}
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+	parents := parentMap(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != target {
+			return true
+		}
+		parent := parents[id]
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == id {
+			coverSelector(pass, decls, sel, cov, visited)
+			return true
+		}
+		if call, ok := parent.(*ast.CallExpr); ok && call.Fun != id {
+			coverCallArg(pass, decls, call, id, cov, visited)
+			return true
+		}
+		// Whole-value escape (composite literal, assignment, return,
+		// index…): treat as hashed wholesale.
+		cov.full = true
+		return true
+	})
+}
+
+// coverSelector handles target.Field (covers the field) and
+// target.Method (recurses into the method body with the receiver
+// tracked).
+func coverSelector(pass *Pass, decls map[types.Object]*ast.FuncDecl, sel *ast.SelectorExpr, cov *coverage, visited map[visitKey]bool) {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return
+	}
+	switch selection.Kind() {
+	case types.FieldVal:
+		cov.covered[selection.Obj().Name()] = true
+	case types.MethodVal, types.MethodExpr:
+		m, _ := selection.Obj().(*types.Func)
+		if m == nil {
+			cov.full = true
+			return
+		}
+		md := decls[m]
+		if md == nil || md.Recv == nil || len(md.Recv.List) == 0 || len(md.Recv.List[0].Names) == 0 {
+			// Method without source or unnamed receiver: the body
+			// cannot be tracked; unnamed receivers read nothing.
+			if md == nil {
+				cov.full = true
+			}
+			return
+		}
+		recv := pass.TypesInfo.Defs[md.Recv.List[0].Names[0]]
+		coverUses(pass, decls, md, m, recv, cov, visited)
+	}
+}
+
+// coverCallArg handles f(..., target, ...): same-package callees are
+// analyzed transitively with the matching parameter tracked; anything
+// else — another package's hasher or encoder — counts as full
+// coverage.
+func coverCallArg(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr, arg *ast.Ident, cov *coverage, visited map[visitKey]bool) {
+	var callee types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		callee = pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := callee.(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		cov.full = true
+		return
+	}
+	cd := decls[fn]
+	if cd == nil {
+		cov.full = true
+		return
+	}
+	argIdx := -1
+	for i, a := range call.Args {
+		if a == arg {
+			argIdx = i
+			break
+		}
+	}
+	if argIdx < 0 {
+		cov.full = true
+		return
+	}
+	// Map argument position to the callee parameter name.
+	idx := 0
+	for _, f := range cd.Type.Params.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			if idx == argIdx {
+				if len(f.Names) == 0 {
+					return // unnamed param: callee cannot read it
+				}
+				coverUses(pass, decls, cd, fn, pass.TypesInfo.Defs[f.Names[j]], cov, visited)
+				return
+			}
+			idx++
+		}
+	}
+	cov.full = true // variadic overflow or mismatch: assume hashed
+}
+
+// packageFuncDecls indexes the package's function and method
+// declarations by their types object.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range pass.nonTestFiles() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// parentMap records each node's immediate parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "", filepath.Join("testdata", "src", "cachekey"), analysis.DefaultAnalyzers())
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A PackageResult is the outcome of checking one package: the findings
+// that survived the allow directives, plus the audit trail of
+// suppressed sites.
+type PackageResult struct {
+	ImportPath string
+	Findings   []Diagnostic
+	Allowed    []AllowedSite
+}
+
+// Check runs every analyzer over the package, applies the
+// //reprovet:allow directives, and returns findings in stable
+// position order.
+func Check(analyzers []*Analyzer, pkg *LoadedPackage) (PackageResult, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return PackageResult{}, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, pass.diags...)
+	}
+	dirs, dirDiags := collectAllows(pkg.Fset, pkg.Files, known)
+	kept, allowed := applyAllows(diags, dirs)
+	kept = append(kept, dirDiags...)
+	sortDiagnostics(kept)
+	sort.Slice(allowed, func(i, j int) bool {
+		a, b := allowed[i], allowed[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return PackageResult{ImportPath: pkg.ImportPath, Findings: kept, Allowed: allowed}, nil
+}
+
+// PrintResults writes findings and the allow audit for a set of
+// package results and reports whether any findings were present.
+func PrintResults(w io.Writer, results []PackageResult) (failed bool) {
+	findings, allowed := 0, 0
+	for _, r := range results {
+		for _, d := range r.Findings {
+			fmt.Fprintln(w, d.String())
+			findings++
+		}
+		allowed += len(r.Allowed)
+	}
+	fmt.Fprintf(w, "reprovet: %d finding(s), %d allowed site(s)\n", findings, allowed)
+	if allowed > 0 {
+		fmt.Fprintf(w, "reprovet: allow audit (//reprovet:allow):\n")
+		for _, r := range results {
+			for _, a := range r.Allowed {
+				fmt.Fprintf(w, "  %s: %s: %s\n", a.Pos, a.Analyzer, a.Reason)
+			}
+		}
+	}
+	return findings > 0
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point (or complex) operands
+// in production code. Exact float comparison is almost always a bug —
+// two mathematically equal computations differ in their last bits —
+// and where it is intentional (bit-identity harnesses, exact-zero
+// structural sentinels like a platform's zero diagonal), the site must
+// say so with //reprovet:allow floateq <reason>, making every exact
+// comparison in the repo auditable. Comparisons between two compile-
+// time constants are exact by construction and pass. Test files are
+// exempt wholesale: the differential suites compare bit-identity on
+// purpose, file by file.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= on floating-point operands outside approved bit-identity harnesses",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.nonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant-folded: exact by construction
+			}
+			pass.Reportf(be.OpPos, "floating-point %s compares exact bits; use a tolerance, or justify the exact comparison with //reprovet:allow floateq <reason>", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a float or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand (and v2) package-level functions
+// that draw from the process-global generator. Constructors
+// (New, NewSource, NewZipf, NewPCG, NewChaCha8) are fine: they take an
+// explicit seed or source, which is exactly what the invariant wants.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock — a hidden global input that breaks run-to-run reproducibility
+// of anything result-producing.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// GlobalRand flags nondeterministic global inputs in result-producing
+// code: package-level math/rand functions (which share one process
+// seed, so results depend on call interleaving across goroutines) and
+// wall-clock reads (time.Now/Since/Until). Every random stream must be
+// built from an explicit seed — derived via internal/seeds where
+// streams fan out — so runs are byte-identical at any worker count.
+//
+// Wall-clock reads are permitted in package main (progress reporting
+// in CLIs is presentation, not results); elsewhere a legitimate
+// wall-clock read (e.g. resilience backoff pacing) carries a
+// //reprovet:allow globalrand <reason> directive.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags global math/rand functions and wall-clock reads in result-producing code",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.nonTestFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgFuncCall(pass, sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
+				pass.Reportf(call.Pos(), "%s.%s draws from the process-global generator; use rand.New with a seed derived via internal/seeds", path, name)
+			case path == "time" && wallClockFuncs[name] && !isMain:
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock, a nondeterministic global input; thread an explicit timestamp or justify with //reprovet:allow globalrand <reason>", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "", filepath.Join("testdata", "src", "globalrand"), analysis.DefaultAnalyzers())
+}
+
+// TestGlobalRandMainPackage checks the package-main carve-out: wall
+// clock reads are presentation there and pass, global randomness is
+// still flagged.
+func TestGlobalRandMainPackage(t *testing.T) {
+	analysistest.Run(t, "", filepath.Join("testdata", "src", "grmain"), analysis.DefaultAnalyzers())
+}

@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// A LoadedPackage is one package parsed and type-checked, ready for the
+// checker.
+type LoadedPackage struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test files only
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// newTypesInfo allocates the full set of type-checker result maps the
+// analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -deps -export` in dir over the given
+// patterns and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "-export", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a go/types importer that resolves imports from
+// compiler export data files. importMap translates source import paths
+// to canonical package paths (identity for most builds); exportFiles
+// maps canonical paths to export data produced by `go list -export` or
+// recorded in a vet config.
+func exportImporter(fset *token.FileSet, importMap, exportFiles map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// resolving imports through build-cache export data so the loader works
+// hermetically offline. dir is the module directory to run `go list`
+// in; empty means the current directory.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exportFiles := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, nil, exportFiles)
+	var out []*LoadedPackage
+	for _, p := range pkgs {
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		var paths []string
+		for _, g := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, g))
+		}
+		lp, err := typeCheck(fset, imp, p.ImportPath, paths)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files that
+// is not part of the enclosing module — the analysistest layout
+// (testdata/src/<pkg>). Imports are restricted to packages resolvable
+// by `go list` from moduleDir (in practice: the standard library).
+func LoadDir(moduleDir, dir string) (*LoadedPackage, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var paths []string
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" || isTestFile(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err == nil {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	exportFiles := map[string]string{}
+	if len(importSet) > 0 {
+		imports := make([]string, 0, len(importSet))
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		pkgs, err := goList(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				exportFiles[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := exportImporter(fset, nil, exportFiles)
+	return typeCheckFiles(fset, imp, filepath.Base(dir), files)
+}
+
+// typeCheck parses the named files and type-checks them as one package.
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath string, paths []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		if isTestFile(path) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return typeCheckFiles(fset, imp, importPath, files)
+}
+
+func typeCheckFiles(fset *token.FileSet, imp types.Importer, importPath string, files []*ast.File) (*LoadedPackage, error) {
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", importPath, err)
+	}
+	return &LoadedPackage{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` statements over maps whose body performs an
+// order-sensitive operation — the nondeterministic-iteration class
+// behind the PR 1 dag.Clone bug and the platform.Validate first-error
+// bug. Go randomizes map iteration order on purpose, so any of the
+// following inside a map-range body makes output depend on the run:
+//
+//   - returning a value derived from the iteration variables
+//     (first-match selection: which entry "wins" differs per run);
+//   - writing iteration-derived data to an output or hash sink
+//     (fmt.Print*/Fprint*, io.WriteString, or any Write/WriteString/
+//     WriteByte/WriteRune/Sum method);
+//   - appending iteration-derived values to a slice declared outside
+//     the loop, unless the slice is passed to a sort.*/slices.* sort
+//     call after the loop (the collect-then-sort idiom is the approved
+//     fix and is recognized);
+//   - assigning iteration-derived values to variables or slice
+//     elements declared outside the loop. Integer accumulation
+//     (+=, -=, *=, |=, &=, ^=) is commutative and associative and
+//     stays legal; floating-point accumulation is not associative and
+//     is flagged — bit-identical results are a repo invariant.
+//
+// Pure per-entry work (map writes keyed by the iteration key, integer
+// counters, local computation) passes. Intentional order-insensitive
+// exceptions carry a //reprovet:allow mapiter <reason> directive.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags order-sensitive bodies of range-over-map loops (nondeterministic iteration order)",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.nonTestFiles() {
+		var funcStack []ast.Node // enclosing FuncDecl/FuncLit bodies
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					funcStack = append(funcStack, n.Body)
+					ast.Inspect(n.Body, visit)
+					funcStack = funcStack[:len(funcStack)-1]
+				}
+				return false
+			case *ast.FuncLit:
+				funcStack = append(funcStack, n.Body)
+				ast.Inspect(n.Body, visit)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				var encl ast.Node
+				if len(funcStack) > 0 {
+					encl = funcStack[len(funcStack)-1]
+				}
+				checkMapRange(pass, n, encl)
+			}
+			return true
+		}
+		ast.Inspect(f, visit)
+	}
+	return nil
+}
+
+// checkMapRange reports the first order-sensitive sink in a map-range
+// body (one diagnostic per loop keeps repeated sinks reviewable).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, enclFunc ast.Node) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	tainted := taintedVars(pass, rng)
+	if len(tainted) == 0 {
+		return
+	}
+	sink := findOrderSink(pass, rng, enclFunc, tainted)
+	if sink == "" {
+		return
+	}
+	pass.Reportf(rng.For, "map iteration order is nondeterministic, but the loop body %s; iterate a sorted key slice (or justify with //reprovet:allow mapiter <reason>)", sink)
+}
+
+// taintedVars seeds the taint set with the range key/value variables
+// and closes it over body-local variables assigned from tainted
+// expressions.
+func taintedVars(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				tainted[obj] = true // `for k = range m` over an existing var
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return tainted
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			asg, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			rhsTainted := false
+			for _, r := range asg.Rhs {
+				if refsTainted(pass, r, tainted) {
+					rhsTainted = true
+					break
+				}
+			}
+			if !rhsTainted {
+				return true
+			}
+			for _, l := range asg.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && !tainted[obj] && within(obj.Pos(), rng) {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// findOrderSink scans a map-range body for the first statement whose
+// effect depends on iteration order; it returns a description for the
+// diagnostic, or "" if the body is order-insensitive.
+func findOrderSink(pass *Pass, rng *ast.RangeStmt, enclFunc ast.Node, tainted map[types.Object]bool) string {
+	var sink string
+	pos := func(n ast.Node) token.Position { return pass.Fset.Position(n.Pos()) }
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if refsTainted(pass, r, tainted) {
+					sink = fmt.Sprintf("returns an iteration-dependent value at line %d (first-match selection)", pos(n).Line)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if desc := outputSink(pass, n, tainted); desc != "" {
+				sink = fmt.Sprintf("%s at line %d", desc, pos(n).Line)
+				return false
+			}
+		case *ast.AssignStmt:
+			if desc := assignSink(pass, n, rng, enclFunc, tainted); desc != "" {
+				sink = fmt.Sprintf("%s at line %d", desc, pos(n).Line)
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// outputSink reports whether the call writes iteration-derived data to
+// an ordered output: fmt printing, io.WriteString, or a Write-family
+// or Sum method (hashing).
+func outputSink(pass *Pass, call *ast.CallExpr, tainted map[types.Object]bool) string {
+	argTainted := false
+	for _, a := range call.Args {
+		if refsTainted(pass, a, tainted) {
+			argTainted = true
+			break
+		}
+	}
+	if !argTainted {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if path, name, ok := pkgFuncCall(pass, sel); ok {
+		switch {
+		case path == "fmt" && (name == "Print" || name == "Printf" || name == "Println" ||
+			name == "Fprint" || name == "Fprintf" || name == "Fprintln"):
+			return "prints iteration-dependent output via fmt." + name
+		case path == "io" && name == "WriteString":
+			return "writes iteration-dependent bytes via io.WriteString"
+		}
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Sum":
+		return "feeds iteration-dependent bytes to " + sel.Sel.Name
+	}
+	return ""
+}
+
+// assignSink classifies assignments inside the body that leak
+// iteration-derived values into state that outlives the loop in a
+// non-commutative way.
+func assignSink(pass *Pass, asg *ast.AssignStmt, rng *ast.RangeStmt, enclFunc ast.Node, tainted map[types.Object]bool) string {
+	rhsTainted := false
+	for _, r := range asg.Rhs {
+		if refsTainted(pass, r, tainted) {
+			rhsTainted = true
+			break
+		}
+	}
+	if !rhsTainted {
+		return ""
+	}
+	// The collect-into-slice idiom: x = append(x, ...). Approved when x
+	// is sorted after the loop, flagged otherwise.
+	if len(asg.Rhs) == 1 && len(asg.Lhs) == 1 {
+		if call, ok := asg.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			obj := lhsObject(pass, asg.Lhs[0])
+			if obj == nil || within(obj.Pos(), rng) {
+				return "" // loop-local accumulation, dies with the iteration
+			}
+			if sortedAfter(pass, obj, rng, enclFunc) {
+				return "" // collect-then-sort: order restored after the loop
+			}
+			return fmt.Sprintf("appends iteration-dependent values to %q without sorting it afterwards", obj.Name())
+		}
+	}
+	for _, l := range asg.Lhs {
+		switch l := l.(type) {
+		case *ast.Ident:
+			obj := lhsObject(pass, l)
+			if obj == nil || within(obj.Pos(), rng) {
+				continue
+			}
+			if asg.Tok != token.ASSIGN && commutativeAccumulation(pass, l, asg.Tok) {
+				continue
+			}
+			if asg.Tok == token.ASSIGN {
+				return fmt.Sprintf("assigns an iteration-dependent value to %q (last writer wins)", obj.Name())
+			}
+			return fmt.Sprintf("accumulates into %q with non-associative %s (float/string accumulation is order-sensitive)", obj.Name(), asg.Tok)
+		case *ast.IndexExpr:
+			base := pass.TypesInfo.TypeOf(l.X)
+			if base == nil {
+				continue
+			}
+			if _, isMap := base.Underlying().(*types.Map); isMap {
+				continue // map writes keyed by the iteration key commute
+			}
+			obj := lhsObject(pass, l.X)
+			if obj == nil || within(obj.Pos(), rng) {
+				continue
+			}
+			return fmt.Sprintf("writes iteration-dependent values into elements of %q", obj.Name())
+		}
+	}
+	return ""
+}
+
+// commutativeAccumulation reports whether `lhs op= rhs` is an
+// order-insensitive accumulation: integer (or bitset/bool) arithmetic
+// commutes and associates exactly; float and string accumulation do
+// not.
+func commutativeAccumulation(pass *Pass, lhs ast.Expr, tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// sortedAfter reports whether obj is passed to a sort.*/slices.* call
+// after the range statement within the enclosing function body.
+func sortedAfter(pass *Pass, obj types.Object, rng *ast.RangeStmt, enclFunc ast.Node) bool {
+	if enclFunc == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclFunc, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, _, ok := pkgFuncCall(pass, sel)
+		if !ok || (path != "sort" && path != "slices") {
+			return true
+		}
+		if len(call.Args) > 0 {
+			if id, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// refsTainted reports whether the expression references any tainted
+// object.
+func refsTainted(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lhsObject resolves the variable written by an lvalue expression.
+func lhsObject(pass *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return lhsObject(pass, e.X)
+	case *ast.IndexExpr:
+		return lhsObject(pass, e.X)
+	}
+	return nil
+}
+
+// within reports whether pos falls inside the range statement's span.
+func within(pos token.Pos, rng *ast.RangeStmt) bool {
+	return pos >= rng.Pos() && pos <= rng.End()
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// pkgFuncCall resolves sel as a qualified call pkg.Func and returns
+// the package path and function name.
+func pkgFuncCall(pass *Pass, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,36 @@
+// Package allowbad is reprovet golden input: malformed, unknown, and
+// unused //reprovet:allow directives, each of which must itself be a
+// finding so exemptions never rot silently. The companion test asserts
+// the exact finding set directly (the directives occupy whole lines,
+// so want comments cannot share them).
+package allowbad
+
+import "math/rand"
+
+// missingReason omits the mandatory reason: the directive is rejected
+// and the draw below stays flagged.
+func missingReason() float64 {
+	//reprovet:allow globalrand
+	return rand.Float64()
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer() float64 {
+	//reprovet:allow nosuchcheck because reasons
+	return rand.Float64()
+}
+
+// unused allows a finding that never occurs: slices iterate in order.
+func unused() int {
+	//reprovet:allow mapiter this loop ranges a slice, nothing to suppress
+	total := 0
+	for _, v := range []int{1, 2, 3} {
+		total += v
+	}
+	return total
+}
+
+// bare has neither analyzer name nor reason.
+func bare() {
+	//reprovet:allow
+}

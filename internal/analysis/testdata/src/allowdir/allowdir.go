@@ -1,0 +1,26 @@
+// Package allowdir is reprovet golden input: the //reprovet:allow
+// directive's suppression mechanics. The companion test asserts the
+// audit side: exactly three allowed sites, each carrying its reason.
+package allowdir
+
+import "math/rand"
+
+// trailing: the directive on the flagged line suppresses that finding.
+func trailing() float64 {
+	return rand.Float64() //reprovet:allow globalrand golden: trailing directive on the flagged line
+}
+
+// preceding: a directive on its own line covers the line below.
+func preceding() float64 {
+	//reprovet:allow globalrand golden: standalone directive above the flagged line
+	return rand.Float64()
+}
+
+// secondLine: a directive suppresses exactly one adjacent line — the
+// second draw two lines down is still flagged.
+func secondLine() float64 {
+	//reprovet:allow globalrand golden: covers only the next line
+	a := rand.Float64()
+	b := rand.Float64() // want `math/rand\.Float64 draws from the process-global generator`
+	return a + b
+}

@@ -1,0 +1,83 @@
+// Package cachekey is reprovet golden input: cache-key completeness
+// over //reprovet:cachekey-annotated key functions.
+package cachekey
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Config mimics an experiment configuration: A and B feed the key, C
+// is a result-affecting knob the partial key forgets, W is a
+// throughput knob that never affects results.
+type Config struct {
+	A int
+	B string
+	C float64
+	W int
+}
+
+// Spec mimics a case spec, hashed wholesale.
+type Spec struct {
+	Name string
+	Seed int64
+}
+
+// Knobs is a smaller type for the exemption-hygiene cases.
+type Knobs struct {
+	X int
+	Y int
+}
+
+// Key covers Spec wholesale (json.Marshal escapes the value to another
+// package), A directly, B through a same-package method — but forgets
+// C, which is neither hashed nor exempted.
+//
+//reprovet:cachekey Spec
+//reprovet:cachekey Config -exempt W
+func Key(spec Spec, cfg Config) string { // want `exported field Config\.C is not hashed into the cache key`
+	blob, _ := json.Marshal(spec)
+	sum := sha256.Sum256(append(blob, fmt.Sprintf("%d/%s", cfg.A, cfg.bTag())...))
+	return fmt.Sprintf("%x", sum)
+}
+
+func (c Config) bTag() string { return c.B }
+
+// FullKey repairs Key by hashing C too: passes.
+//
+//reprovet:cachekey Config -exempt W
+func FullKey(cfg Config) string {
+	return fmt.Sprintf("%d/%s/%g", cfg.A, cfg.bTag(), cfg.C)
+}
+
+// StaleExempt exempts X yet reads it right there: the exemption is
+// stale and hides future drift.
+//
+//reprovet:cachekey Knobs -exempt X
+func StaleExempt(k Knobs) string { // want `exempted field Knobs\.X is read by the key function`
+	return fmt.Sprintf("%d/%d", k.X, k.Y)
+}
+
+// UnknownExempt exempts a name that is not a field.
+//
+//reprovet:cachekey Knobs -exempt Z
+func UnknownExempt(k Knobs) string { // want `-exempt names unknown field Knobs\.Z`
+	return fmt.Sprintf("%d/%d", k.X, k.Y)
+}
+
+// TransitiveKey covers Y through a same-package helper call: passes.
+//
+//reprovet:cachekey Knobs
+func TransitiveKey(k Knobs) string {
+	return fmt.Sprintf("%d/%s", k.X, keyPart(k))
+}
+
+func keyPart(k Knobs) string { return fmt.Sprintf("%d", k.Y) }
+
+// NoSuchParam names a type none of its parameters have.
+//
+//reprovet:cachekey Nope
+func NoSuchParam(k Knobs) string { // want `no parameter of NoSuchParam has type Nope`
+	return keyPart(k)
+}

@@ -1,0 +1,46 @@
+// Package floateq is reprovet golden input: exact floating-point
+// comparisons next to the approved alternatives.
+package floateq
+
+const eps = 1e-9
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == compares exact bits`
+}
+
+func ne(a, b float64) bool {
+	return a != b // want `floating-point != compares exact bits`
+}
+
+func isZero(x float64) bool {
+	return x == 0 // want `floating-point == compares exact bits`
+}
+
+func complexEq(a, b complex128) bool {
+	return a == b // want `floating-point == compares exact bits`
+}
+
+// near compares with a tolerance: the approved form, passes.
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}
+
+// intEq compares integers exactly, which is exact by nature: passes.
+func intEq(a, b int) bool {
+	return a == b
+}
+
+// constFold compares two compile-time constants: exact by
+// construction, passes.
+func constFold() bool {
+	return 1.0 == 2.0/2.0
+}
+
+// ordered comparisons are not equality: passes.
+func less(a, b float64) bool {
+	return a < b
+}

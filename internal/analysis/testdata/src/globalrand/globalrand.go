@@ -1,0 +1,31 @@
+// Package globalrand is reprovet golden input: process-global
+// randomness and wall-clock reads in a result-producing (non-main)
+// package.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// jitter draws from the shared process-global generator.
+func jitter() float64 {
+	return rand.Float64() // want `math/rand\.Float64 draws from the process-global generator`
+}
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// elapsed also reads the wall clock, through Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+// seeded builds its stream from an explicit seed: the invariant's
+// approved form, passes.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,15 @@
+// Command grmain is reprovet golden input: in package main the wall
+// clock is presentation (progress reporting), so time.Now/Since pass —
+// but global randomness is still flagged.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(rand.Intn(10), time.Since(start)) // want `math/rand\.Intn draws from the process-global generator`
+}

@@ -1,0 +1,93 @@
+// Package mapiter is reprovet golden input: order-sensitive map
+// iteration in its common disguises, next to the approved idioms.
+package mapiter
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// firstError returns whichever entry iteration happens to visit first.
+func firstError(errs map[string]error) error {
+	for name, err := range errs { // want `returns an iteration-dependent value`
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// sortedKeys is the approved collect-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unsortedKeys collects without restoring order.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends iteration-dependent values to "keys" without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// printAll streams entries in iteration order.
+func printAll(m map[string]int) {
+	for k, v := range m { // want `prints iteration-dependent output via fmt\.Println`
+		fmt.Println(k, v)
+	}
+}
+
+// sum is a commutative integer accumulation: order-free, passes.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// floatSum accumulates floats, which is not associative.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates into "total" with non-associative`
+		total += v
+	}
+	return total
+}
+
+// digest feeds entries to a hash in iteration order.
+func digest(m map[string][]byte) [32]byte {
+	h := sha256.New()
+	for k, v := range m { // want `feeds iteration-dependent bytes to Write`
+		h.Write([]byte(k))
+		h.Write(v)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// pickAny keeps whichever key iteration visits last.
+func pickAny(m map[string]int) (best string) {
+	for k := range m { // want `assigns an iteration-dependent value to "best"`
+		best = k
+	}
+	return best
+}
+
+// invert writes a map keyed by the iterated values: map writes
+// commute, passes.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetTool exercises the real `go vet -vettool` protocol end to
+// end: the built reprovet binary must pass a clean repo package and
+// fail a module that draws from the process-global generator.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the vet tool")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "reprovet")
+	build := exec.Command("go", "build", "-o", tool, "repro/cmd/reprovet")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build reprovet: %v\n%s", err, out)
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+tool, "./internal/platform")
+	clean.Dir = "../.."
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool on a clean package: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	if err := os.MkdirAll(mod, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module tmpvet\n\ngo 1.24\n",
+		"bad.go": "package bad\n\nimport \"math/rand\"\n\nfunc Jitter() float64 { return rand.Float64() }\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := exec.Command("go", "vet", "-vettool="+tool, ".")
+	dirty.Dir = mod
+	out, err := dirty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed a package drawing global randomness:\n%s", out)
+	}
+	if !strings.Contains(string(out), "process-global generator") {
+		t.Errorf("vet output lacks the globalrand diagnostic:\n%s", out)
+	}
+}

@@ -19,7 +19,7 @@ func (g *Graph) DOT(title string, nodeLabel func(Task) string) string {
 		fmt.Fprintf(&b, "  n%d [label=%q];\n", t, label)
 	}
 	for _, e := range g.Edges() {
-		if e.Volume != 0 {
+		if e.Volume != 0 { //reprovet:allow floateq zero volume is an exact sentinel for "no data transferred"
 			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.3g\"];\n", e.From, e.To, e.Volume)
 		} else {
 			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)

@@ -70,6 +70,9 @@ const caseCacheVersionAcc = "repro/case/v4"
 // to the reference resampling policy hashes exactly like the
 // pre-accuracy configs (v3, grid size only), while a tightened
 // work-grid cap moves to v4 keys that include the cap.
+//
+//reprovet:cachekey CaseSpec
+//reprovet:cachekey Config -exempt MCRealizations,Workers,Seed,CaseTimeout,MaxRetries,DegradeOnTimeout
 func CaseCacheKey(spec CaseSpec, cfg Config) (string, error) {
 	mode, err := stochastic.ParseSamplerMode(cfg.MCSampler)
 	if err != nil {

@@ -109,7 +109,7 @@ func BIL(scen *platform.Scenario) (Result, error) {
 			}
 			prio := kthSmallest(bims, k, scratch)
 			if bestIdx < 0 || prio > bestPriority ||
-				(prio == bestPriority && t < ready[bestIdx]) {
+				(prio == bestPriority && t < ready[bestIdx]) { //reprovet:allow floateq deterministic tie-break on exactly equal priorities (paper rule)
 				bestIdx, bestPriority = idx, prio
 			}
 		}

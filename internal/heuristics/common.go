@@ -160,7 +160,7 @@ func buildFromPlacement(pos []int32, nProc int, proc []int, start []float64) *sc
 		ord := byProc[p]
 		sort.SliceStable(ord, func(i, j int) bool {
 			si, sj := start[ord[i]], start[ord[j]]
-			if si != sj {
+			if si != sj { //reprovet:allow floateq comparator falls through to a stable index tie-break only on exact equality
 				return si < sj
 			}
 			return pos[ord[i]] < pos[ord[j]]

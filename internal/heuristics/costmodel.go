@@ -188,7 +188,7 @@ func sortByRankDesc(rank []float64, pos []int32) []dag.Task {
 	}
 	sort.SliceStable(tasks, func(a, b int) bool {
 		ra, rb := rank[tasks[a]], rank[tasks[b]]
-		if ra != rb {
+		if ra != rb { //reprovet:allow floateq comparator falls through to a stable index tie-break only on exact equality
 			return ra > rb
 		}
 		return pos[tasks[a]] < pos[tasks[b]]

@@ -158,7 +158,7 @@ type taskPQ struct {
 func (q *taskPQ) Len() int { return len(q.tasks) }
 func (q *taskPQ) Less(i, j int) bool {
 	pi, pj := q.prio[q.tasks[i]], q.prio[q.tasks[j]]
-	if pi != pj {
+	if pi != pj { //reprovet:allow floateq heap comparator falls through to an index tie-break only on exact equality
 		return pi > pj
 	}
 	return q.tasks[i] < q.tasks[j]

@@ -386,7 +386,7 @@ func ReferenceBIL(scen *platform.Scenario) (Result, error) {
 			}
 			prio := kthSmallest(bims, k, nil)
 			if bestIdx < 0 || prio > bestPriority ||
-				(prio == bestPriority && t < ready[bestIdx]) {
+				(prio == bestPriority && t < ready[bestIdx]) { //reprovet:allow floateq deterministic tie-break on exactly equal priorities (paper rule)
 				bestIdx, bestPriority = idx, prio
 			}
 		}

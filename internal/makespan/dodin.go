@@ -3,6 +3,7 @@ package makespan
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/platform"
 	"repro/internal/schedule"
@@ -121,10 +122,7 @@ func (g *rvGraph) seriesReduceOnce() bool {
 		if g.rv[v] == nil || len(g.pred[v]) != 1 {
 			continue
 		}
-		var u int
-		for p := range g.pred[v] {
-			u = p
-		}
+		u := soleKey(g.pred[v])
 		if len(g.succ[u]) != 1 {
 			continue
 		}
@@ -135,7 +133,7 @@ func (g *rvGraph) seriesReduceOnce() bool {
 			rv *stochastic.Numeric
 		}
 		var outs []out
-		for w := range g.succ[v] {
+		for _, w := range sortedKeys(g.succ[v]) {
 			outs = append(outs, out{w, g.edgeRV(v, w)})
 		}
 		g.removeNode(v)
@@ -156,13 +154,7 @@ func (g *rvGraph) chainContractOnce() bool {
 		if g.rv[v] == nil || len(g.pred[v]) != 1 || len(g.succ[v]) != 1 {
 			continue
 		}
-		var u, w int
-		for p := range g.pred[v] {
-			u = p
-		}
-		for s := range g.succ[v] {
-			w = s
-		}
+		u, w := soleKey(g.pred[v]), soleKey(g.succ[v])
 		if u == w {
 			continue // cannot happen in a DAG, but stay safe
 		}
@@ -196,22 +188,16 @@ func (g *rvGraph) parallelReduceOnce() bool {
 			}
 			pathU := g.rv[u]
 			pathV := g.rv[v]
-			for p := range g.pred[u] {
+			preds, succs := sortedKeys(g.pred[u]), sortedKeys(g.succ[u])
+			for _, p := range preds {
 				pathU = g.addSeq(g.edgeRV(p, u), pathU)
 				pathV = g.addSeq(g.edgeRV(p, v), pathV)
 			}
-			for w := range g.succ[u] {
+			for _, w := range succs {
 				pathU = g.addSeq(pathU, g.edgeRV(u, w))
 				pathV = g.addSeq(pathV, g.edgeRV(v, w))
 			}
 			merged := pathU.MaxWith(pathV, g.grid)
-			var preds, succs []int
-			for p := range g.pred[u] {
-				preds = append(preds, p)
-			}
-			for w := range g.succ[u] {
-				succs = append(succs, w)
-			}
 			g.removeNode(v)
 			g.rv[u] = merged
 			for _, p := range preds {
@@ -226,6 +212,30 @@ func (g *rvGraph) parallelReduceOnce() bool {
 		}
 	}
 	return false
+}
+
+// soleKey returns the single element of a one-element adjacency set
+// (callers guard on len(m) == 1, so iteration order cannot matter).
+func soleKey(m map[int]struct{}) int {
+	//reprovet:allow mapiter single-element set: the sole iteration is order-free
+	for k := range m {
+		return k
+	}
+	panic("makespan: soleKey on empty adjacency set")
+}
+
+// sortedKeys returns the elements of an adjacency set in increasing
+// order. Every reduction scans adjacency this way, so the reduction
+// sequence — and with it the node numbering and the approximation the
+// duplications produce — is a pure function of the input graph, not of
+// Go's randomized map iteration order.
+func sortedKeys(m map[int]struct{}) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // sameSet reports set equality of two adjacency maps.
@@ -253,7 +263,7 @@ func (g *rvGraph) duplicateCone() int {
 		if g.rv[u] == nil || len(g.succ[u]) < 2 {
 			continue
 		}
-		for v := range g.succ[u] {
+		for _, v := range sortedKeys(g.succ[u]) {
 			if len(g.pred[v]) < 2 {
 				continue
 			}
@@ -279,11 +289,7 @@ func (g *rvGraph) duplicateCone() int {
 		d := g.addNode(g.rv[x].Clone())
 		created++
 		copies[x] = d
-		var preds []int
-		for p := range g.pred[x] {
-			preds = append(preds, p)
-		}
-		for _, p := range preds {
+		for _, p := range sortedKeys(g.pred[x]) {
 			var rv *stochastic.Numeric
 			if e := g.edgeRV(p, x); e != nil {
 				rv = e.Clone()

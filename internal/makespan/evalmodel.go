@@ -171,7 +171,7 @@ func (c *EvalCache) putOps(o *stochastic.Ops) { c.ops.Put(o) }
 // cannot drop a stochastic arc.
 func zeroCommArc(d stochastic.Dist) bool {
 	lo, hi := d.Support()
-	return lo == 0 && hi == 0
+	return lo == 0 && hi == 0 //reprovet:allow floateq an arc is droppable only when its support is exactly {0} (the PR 5 zero-min-arc fix)
 }
 
 // EvalModel is the per-(scenario, schedule) compiled evaluation

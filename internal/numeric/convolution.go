@@ -18,7 +18,7 @@ func convolveDirectInto(out, a, b []float64) []float64 {
 		out[i] = 0
 	}
 	for i, av := range a {
-		if av == 0 {
+		if av == 0 { //reprovet:allow floateq sparse skip of exactly-zero mass bins; near-zero bins must still convolve
 			continue
 		}
 		for j, bv := range b {

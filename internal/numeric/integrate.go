@@ -90,7 +90,7 @@ func SimpsonFunc(f func(float64) float64, a, b float64, n int) float64 {
 func Derivative(y []float64, h float64) []float64 {
 	n := len(y)
 	out := make([]float64, n)
-	if n < 2 || h == 0 {
+	if n < 2 || h == 0 { //reprovet:allow floateq degenerate step guard: only an exact zero divides by zero
 		return out
 	}
 	out[0] = (y[1] - y[0]) / h

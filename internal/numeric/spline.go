@@ -114,7 +114,7 @@ func (s *Spline) SetExtrapolateZero(zero bool) { s.extrapZero = zero }
 func (s *Spline) At(t float64) float64 {
 	n := len(s.x)
 	if t <= s.x[0] {
-		if t == s.x[0] {
+		if t == s.x[0] { //reprovet:allow floateq exact knot hit returns the knot value; below-range behavior differs
 			return s.y[0]
 		}
 		if s.extrapZero {
@@ -123,7 +123,7 @@ func (s *Spline) At(t float64) float64 {
 		return s.y[0]
 	}
 	if t >= s.x[n-1] {
-		if t == s.x[n-1] {
+		if t == s.x[n-1] { //reprovet:allow floateq exact knot hit returns the knot value; above-range behavior differs
 			return s.y[n-1]
 		}
 		if s.extrapZero {
@@ -187,13 +187,13 @@ func (s *Spline) ResampleInto(out []float64, lo, hi float64) []float64 {
 		t := lo + float64(i)*step
 		switch {
 		case t <= s.x[0]:
-			if t == s.x[0] || !s.extrapZero {
+			if t == s.x[0] || !s.extrapZero { //reprovet:allow floateq exact knot hit returns the knot value; below-range behavior differs
 				out[i] = s.y[0]
 			} else {
 				out[i] = 0
 			}
 		case t >= s.x[nx-1]:
-			if t == s.x[nx-1] || !s.extrapZero {
+			if t == s.x[nx-1] || !s.extrapZero { //reprovet:allow floateq exact knot hit returns the knot value; above-range behavior differs
 				out[i] = s.y[nx-1]
 			} else {
 				out[i] = 0

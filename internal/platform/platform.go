@@ -39,7 +39,15 @@ func (p *Platform) Validate() error {
 			}
 		}
 	}
-	for name, m := range map[string][][]float64{"tau": p.Tau, "lat": p.Lat} {
+	// τ before latency, always: ranging over a map here made the
+	// reported first error flip between runs when both matrices were
+	// invalid (map iteration order is randomized — the exact bug class
+	// cmd/reprovet's mapiter analyzer now rejects).
+	for _, nm := range []struct {
+		name string
+		m    [][]float64
+	}{{"tau", p.Tau}, {"lat", p.Lat}} {
+		name, m := nm.name, nm.m
 		if len(m) != p.M {
 			return fmt.Errorf("platform: %s has %d rows, want %d", name, len(m), p.M)
 		}
@@ -47,7 +55,7 @@ func (p *Platform) Validate() error {
 			if len(row) != p.M {
 				return fmt.Errorf("platform: %s row %d has %d entries, want %d", name, i, len(row), p.M)
 			}
-			if row[i] != 0 {
+			if row[i] != 0 { //reprovet:allow floateq zero diagonal is an exact structural invariant, not a computed value
 				return fmt.Errorf("platform: %s[%d][%d] = %g, diagonal must be 0", name, i, i, row[i])
 			}
 			for j, v := range row {

@@ -41,6 +41,26 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateDeterministicFirstError pins the fix for the map-range
+// bug reprovet's mapiter analyzer flagged: when both network matrices
+// are invalid, Validate must always report tau first instead of
+// letting map iteration order pick the winner.
+func TestValidateDeterministicFirstError(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		p := testPlatform(4, 3, 7)
+		p.Tau[2][2] = 1 // bad tau diagonal
+		p.Lat[1][1] = 1 // bad lat diagonal
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("accepted two broken diagonals")
+		}
+		const want = "platform: tau[2][2] = 1, diagonal must be 0"
+		if err.Error() != want {
+			t.Fatalf("run %d: error = %q, want %q (first error must not depend on iteration order)", i, err, want)
+		}
+	}
+}
+
 func TestMinCommTime(t *testing.T) {
 	p := testPlatform(4, 3, 2)
 	p.Lat[0][1] = 2

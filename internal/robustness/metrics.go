@@ -74,7 +74,7 @@ func (m Metrics) Vector() [NumMetrics]float64 {
 // metric divided by the expected makespan, which the paper shows is
 // almost perfectly correlated with σ_M once inverted.
 func (m Metrics) RelProbByMakespan() float64 {
-	if m.Makespan == 0 {
+	if m.Makespan == 0 { //reprovet:allow floateq division guard: only an exactly-zero makespan is undefined
 		return 0
 	}
 	return m.RelProb / m.Makespan

@@ -92,7 +92,7 @@ func OpenCache(dir string) (*Cache, error) {
 			// milliseconds before its rename, so only files old enough
 			// to be orphans of a dead run are removed — never the
 			// in-flight writes of another process sharing the dir.
-			if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > time.Hour {
+			if fi, err := os.Stat(f); err == nil && time.Since(fi.ModTime()) > time.Hour { //reprovet:allow globalrand wall-clock age gates orphan-file cleanup only; results never depend on it
 				os.Remove(f)
 			}
 		}

@@ -595,7 +595,7 @@ func (st *MCStats) LatenessAboveMean() float64 {
 		mass += m
 		moment += m * (lo + right) / 2
 	}
-	if mass == 0 {
+	if mass == 0 { //reprovet:allow floateq guard against dividing by an exactly-zero accumulated mass
 		return 0
 	}
 	return moment/mass - mu

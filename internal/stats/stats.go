@@ -30,7 +30,7 @@ func Pearson(xs, ys []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if sxx == 0 || syy == 0 { //reprovet:allow floateq correlation is undefined only at exactly zero variance
 		return math.NaN()
 	}
 	return sxy / math.Sqrt(sxx*syy)
@@ -50,7 +50,7 @@ func LinReg(xs, ys []float64) (slope, intercept, r float64, err error) {
 		sxy += dx * (ys[i] - my)
 		sxx += dx * dx
 	}
-	if sxx == 0 {
+	if sxx == 0 { //reprovet:allow floateq regression is undefined only at exactly zero variance
 		return 0, 0, 0, fmt.Errorf("stats: x has zero variance")
 	}
 	slope = sxy / sxx

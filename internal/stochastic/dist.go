@@ -48,7 +48,7 @@ func (d Dirac) Variance() float64 { return 0 }
 // PDF is +Inf at the atom and 0 elsewhere (a true density does not
 // exist; callers treat Dirac specially).
 func (d Dirac) PDF(x float64) float64 {
-	if x == d.Value {
+	if x == d.Value { //reprovet:allow floateq a Dirac atom is a point mass; its density is infinite at exactly the atom
 		return math.Inf(1)
 	}
 	return 0

@@ -34,11 +34,11 @@ func (g Gamma) PDF(x float64) float64 {
 	if x < 0 {
 		return 0
 	}
-	if x == 0 {
+	if x == 0 { //reprovet:allow floateq density special case at the exact support endpoint
 		if g.Alpha < 1 {
 			return math.Inf(1)
 		}
-		if g.Alpha == 1 {
+		if g.Alpha == 1 { //reprovet:allow floateq Alpha is a configured parameter compared to its exact special-case value
 			return 1 / g.Theta
 		}
 		return 0
@@ -72,7 +72,7 @@ func sampleGamma(rng *rand.Rand, alpha float64) float64 {
 	if alpha < 1 {
 		// Boost: G(a) = G(a+1) * U^(1/a).
 		u := rng.Float64()
-		for u == 0 {
+		for u == 0 { //reprovet:allow floateq rejection of the exact zero the boost step cannot take log of
 			u = rng.Float64()
 		}
 		return sampleGamma(rng, alpha+1) * math.Pow(u, 1/alpha)

@@ -45,7 +45,7 @@ func FromPDF(lo, hi float64, pdf []float64) (*Numeric, error) {
 	if hi < lo {
 		return nil, fmt.Errorf("stochastic: inverted support [%g,%g]", lo, hi)
 	}
-	if hi == lo {
+	if hi == lo { //reprovet:allow floateq exactly-degenerate support collapses to a point mass; any wider support discretizes
 		return NewPoint(lo), nil
 	}
 	if len(pdf) < 2 {
